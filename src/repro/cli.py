@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Examples::
+
+    # list what is available
+    repro-dgnn list-models
+    repro-dgnn list-datasets
+    repro-dgnn list-experiments
+
+    # regenerate a paper artefact
+    repro-dgnn experiment table1
+    repro-dgnn experiment fig6 --scale small --output fig6.json
+
+    # profile one model/dataset/device configuration
+    repro-dgnn profile tgat --dataset wikipedia --device gpu --param num_neighbors=50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from . import __version__
+from .core import Profiler, analyze_profile, compute_breakdown
+from .datasets import available_datasets, load
+from .experiments import available_experiments, run_experiment
+from .hw import Machine
+from .models import available_models, build_model
+
+
+def _parse_param(values: List[str]) -> Dict[str, Any]:
+    """Parse ``key=value`` overrides, coercing ints/floats/bools."""
+    overrides: Dict[str, Any] = {}
+    for item in values:
+        if "=" not in item:
+            raise ValueError(f"parameter override {item!r} must be key=value")
+        key, raw = item.split("=", 1)
+        value: Any
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        overrides[key] = value
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgnn",
+        description="DGNN inference bottleneck analysis (IISWC 2022 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list the profiled DGNN models")
+    sub.add_parser("list-datasets", help="list the synthetic datasets")
+    sub.add_parser("list-experiments", help="list the table/figure experiments")
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("name", choices=available_experiments())
+    exp.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    exp.add_argument("--output", default=None, help="write the rows as JSON to this path")
+    exp.add_argument("--max-rows", type=int, default=None, help="limit printed rows")
+
+    prof = sub.add_parser("profile", help="profile one model configuration")
+    prof.add_argument("model", choices=available_models())
+    prof.add_argument("--dataset", default=None, help="dataset name (model default if omitted)")
+    prof.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    prof.add_argument("--device", default="gpu", choices=("cpu", "gpu"))
+    prof.add_argument("--iterations", type=int, default=1)
+    prof.add_argument(
+        "--param", action="append", default=[],
+        help="model config override, e.g. --param batch_size=256 (repeatable)",
+    )
+    return parser
+
+
+def _cmd_list_models() -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _cmd_list_datasets() -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments() -> int:
+    for name in available_experiments():
+        print(name)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name, scale=args.scale)
+    print(result.format_table(max_rows=args.max_rows))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump({"experiment": result.experiment, "rows": result.rows,
+                       "notes": result.notes}, handle, indent=2)
+        print(f"\nwrote {len(result.rows)} rows to {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    overrides = _parse_param(args.param)
+    machine = Machine.cpu_gpu() if args.device == "gpu" else Machine.cpu_only()
+    with machine.activate():
+        dataset = load(args.dataset, scale=args.scale) if args.dataset else None
+        model = build_model(args.model, machine, dataset=dataset, scale=args.scale, **overrides)
+        profiler = Profiler(machine)
+        batches = model.iteration_batches()
+        for index, batch in enumerate(batches):
+            if index >= args.iterations:
+                break
+            if index == 0:
+                model.warm_up(batch)
+            with profiler.capture(f"{args.model}-iter{index}"):
+                model.inference_iteration(batch)
+    for profile in profiler.profiles:
+        breakdown = compute_breakdown(profile)
+        print(breakdown.format_table(title=f"{profile.label} ({args.device})"))
+        print(f"GPU utilization: {profile.gpu_utilization() * 100:.2f}%   "
+              f"peak GPU memory: {profile.peak_memory_mb('gpu'):.1f} MB")
+        print()
+    report = analyze_profile(profiler.profiles[-1])
+    print(report.format_table())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-models":
+        return _cmd_list_models()
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "list-experiments":
+        return _cmd_list_experiments()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Per-module inference breakdowns (the paper's Fig. 7).
+
+The paper decomposes each model's single-iteration inference time into its
+functional modules ("Sampling (CPU)", "Attention Layer", "Memory Copy",
+"Cuda Synchronization", ...).  This module turns a :class:`Profile` into the
+same kind of breakdown: kernel events are grouped by their region annotation,
+transfers become "Memory Copy" and synchronisation waits become
+"Cuda Synchronization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hw.events import KERNEL, SYNC, TRANSFER, WARMUP, Event
+from .profiler import Profile
+
+#: Canonical labels used for implicit categories.
+MEMORY_COPY = "Memory Copy"
+CUDA_SYNC = "Cuda Synchronization"
+WARMUP_LABEL = "GPU Warm-up"
+OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class BreakdownEntry:
+    """One row of a breakdown: a module label, its time and its share."""
+
+    label: str
+    time_ms: float
+    fraction: float
+    kernel_count: int
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """A per-module decomposition of one profiling window."""
+
+    entries: Tuple[BreakdownEntry, ...]
+    total_ms: float
+    elapsed_ms: float
+    label: str = ""
+
+    def labels(self) -> List[str]:
+        return [entry.label for entry in self.entries]
+
+    def time_ms(self, label: str) -> float:
+        for entry in self.entries:
+            if entry.label == label:
+                return entry.time_ms
+        return 0.0
+
+    def fraction(self, label: str) -> float:
+        for entry in self.entries:
+            if entry.label == label:
+                return entry.fraction
+        return 0.0
+
+    def dominant(self) -> BreakdownEntry:
+        """The module with the largest share."""
+        if not self.entries:
+            raise ValueError("empty breakdown")
+        return max(self.entries, key=lambda entry: entry.time_ms)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for CSV/JSON export or tabular printing."""
+        return [
+            {
+                "module": entry.label,
+                "time_ms": round(entry.time_ms, 4),
+                "share": round(entry.fraction, 4),
+                "kernels": entry.kernel_count,
+            }
+            for entry in self.entries
+        ]
+
+    def format_table(self, title: Optional[str] = None) -> str:
+        """A plain-text table like the annotated bars of the paper's Fig. 7."""
+        lines = []
+        header = title or (self.label or "inference breakdown")
+        lines.append(header)
+        lines.append("-" * max(36, len(header)))
+        width = max([len(e.label) for e in self.entries] + [6])
+        for entry in self.entries:
+            lines.append(
+                f"{entry.label:<{width}}  {entry.time_ms:10.3f} ms  "
+                f"{entry.fraction * 100:6.1f}%  ({entry.kernel_count} kernels)"
+            )
+        lines.append(
+            f"{'total':<{width}}  {self.total_ms:10.3f} ms  "
+            f"(elapsed {self.elapsed_ms:.3f} ms)"
+        )
+        return "\n".join(lines)
+
+
+def _classify(
+    event: Event, region_depth: Optional[int], fold_transfers: bool = False
+) -> Optional[str]:
+    """Map one event to a breakdown label (None to ignore it)."""
+    if event.kind == TRANSFER:
+        if fold_transfers and event.region:
+            return event.innermost_region
+        return MEMORY_COPY
+    if event.kind == SYNC:
+        return CUDA_SYNC if event.duration_ms > 0 else None
+    if event.kind == WARMUP:
+        return WARMUP_LABEL
+    if event.kind == KERNEL:
+        if not event.region:
+            return OTHER
+        if region_depth is None:
+            return event.innermost_region
+        index = min(region_depth, len(event.region) - 1)
+        return event.region[index]
+    return None
+
+
+def compute_breakdown(
+    profile: Profile,
+    region_depth: Optional[int] = None,
+    include_warmup: bool = False,
+    merge_below_fraction: float = 0.0,
+    fold_transfers: bool = False,
+) -> Breakdown:
+    """Aggregate a profile into a per-module breakdown.
+
+    Args:
+        profile: The captured window.
+        region_depth: Use the region label at this depth of the annotation
+            stack (``None`` means the innermost label, which is what the
+            paper's module-level bars correspond to).
+        include_warmup: Whether to include GPU warm-up events as a row.
+        merge_below_fraction: Merge modules below this share into ``Other``.
+        fold_transfers: Attribute host<->device copies to their enclosing
+            region instead of the separate "Memory Copy" row (used for models
+            whose published breakdown folds transfers into the module that
+            triggered them, e.g. TGN's message passing).
+    """
+    times: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    order: List[str] = []
+    for event in profile.events:
+        label = _classify(event, region_depth, fold_transfers=fold_transfers)
+        if label is None:
+            continue
+        if label == WARMUP_LABEL and not include_warmup:
+            continue
+        if label not in times:
+            times[label] = 0.0
+            counts[label] = 0
+            order.append(label)
+        times[label] += event.duration_ms
+        counts[label] += 1 if event.kind == KERNEL else 0
+
+    total = sum(times.values())
+    if merge_below_fraction > 0.0 and total > 0.0:
+        merged_order: List[str] = []
+        merged_times: Dict[str, float] = {}
+        merged_counts: Dict[str, int] = {}
+        for label in order:
+            share = times[label] / total
+            target = label if share >= merge_below_fraction or label == OTHER else OTHER
+            if target not in merged_times:
+                merged_times[target] = 0.0
+                merged_counts[target] = 0
+                merged_order.append(target)
+            merged_times[target] += times[label]
+            merged_counts[target] += counts[label]
+        order, times, counts = merged_order, merged_times, merged_counts
+
+    entries = tuple(
+        BreakdownEntry(
+            label=label,
+            time_ms=times[label],
+            fraction=(times[label] / total) if total > 0 else 0.0,
+            kernel_count=counts[label],
+        )
+        for label in sorted(order, key=lambda l: -times[l])
+    )
+    return Breakdown(
+        entries=entries,
+        total_ms=total,
+        elapsed_ms=profile.elapsed_ms,
+        label=profile.label,
+    )
+
+
+def merge_breakdowns(breakdowns: Sequence[Breakdown], label: str = "") -> Breakdown:
+    """Sum several breakdowns (e.g. across iterations) into one."""
+    if not breakdowns:
+        raise ValueError("merge_breakdowns needs at least one breakdown")
+    times: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    order: List[str] = []
+    for breakdown in breakdowns:
+        for entry in breakdown.entries:
+            if entry.label not in times:
+                times[entry.label] = 0.0
+                counts[entry.label] = 0
+                order.append(entry.label)
+            times[entry.label] += entry.time_ms
+            counts[entry.label] += entry.kernel_count
+    total = sum(times.values())
+    entries = tuple(
+        BreakdownEntry(
+            label=lbl,
+            time_ms=times[lbl],
+            fraction=(times[lbl] / total) if total > 0 else 0.0,
+            kernel_count=counts[lbl],
+        )
+        for lbl in sorted(order, key=lambda l: -times[l])
+    )
+    return Breakdown(
+        entries=entries,
+        total_ms=total,
+        elapsed_ms=sum(b.elapsed_ms for b in breakdowns),
+        label=label or breakdowns[0].label,
+    )

@@ -1,0 +1,267 @@
+"""Profiler: captures a window of simulated execution for analysis.
+
+Plays the role of PyTorch Profiler + Nsight Systems in the paper's
+methodology.  A :class:`Profiler` wraps a :class:`~repro.hw.machine.Machine`;
+entering its capture context snapshots the event cursor and simulated clock,
+leaving it (after an implicit device synchronisation) produces a
+:class:`Profile` -- an immutable view of everything that happened in between:
+kernel events, transfers, synchronisations, warm-up steps, memory activity
+and the device busy timelines.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..hw.events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event
+from ..hw.machine import Machine
+
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Per-device statistics captured over one profiling window."""
+
+    name: str
+    kind: str
+    peak_gflops: float
+    busy_ms: float
+    kernel_count: int
+    flops: float
+    peak_memory_bytes: int
+    start_memory_bytes: int
+    end_memory_bytes: int
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Everything recorded between the start and end of a capture window.
+
+    Attributes:
+        start_ms / end_ms: Simulated window boundaries (host clock).
+        events: Events issued inside the window, in issue order.
+        devices: Per-device statistics over the window.
+        link_name: Name of the host<->device link.
+        label: Optional label supplied when the capture was opened.
+    """
+
+    start_ms: float
+    end_ms: float
+    events: Tuple[Event, ...]
+    devices: Tuple[DeviceSnapshot, ...]
+    link_name: str
+    label: str = ""
+
+    # -- basic views ---------------------------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Wall-clock (host) time of the window."""
+        return self.end_ms - self.start_ms
+
+    def events_of_kind(self, kind: str) -> Tuple[Event, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    @property
+    def kernel_events(self) -> Tuple[Event, ...]:
+        return self.events_of_kind(KERNEL)
+
+    @property
+    def transfer_events(self) -> Tuple[Event, ...]:
+        return self.events_of_kind(TRANSFER)
+
+    @property
+    def sync_events(self) -> Tuple[Event, ...]:
+        return self.events_of_kind(SYNC)
+
+    @property
+    def warmup_events(self) -> Tuple[Event, ...]:
+        return self.events_of_kind(WARMUP)
+
+    def device(self, name_or_kind: str) -> Optional[DeviceSnapshot]:
+        """Find a device snapshot by name or by kind (``"cpu"``/``"gpu"``)."""
+        for snapshot in self.devices:
+            if snapshot.name == name_or_kind or snapshot.kind == name_or_kind:
+                return snapshot
+        return None
+
+    # -- headline statistics ----------------------------------------------------
+
+    def device_busy_ms(self, kind: str) -> float:
+        snapshot = self.device(kind)
+        return snapshot.busy_ms if snapshot else 0.0
+
+    def gpu_utilization(self, include_warmup: bool = False) -> float:
+        """Average GPU busy fraction over the window.
+
+        Warm-up intervals are excluded by default so the number reflects the
+        steady-state utilization the paper reports (a few percent for most
+        DGNNs).
+        """
+        gpu = self.device("gpu")
+        if gpu is None or self.elapsed_ms <= 0:
+            return 0.0
+        busy = gpu.busy_ms
+        if not include_warmup:
+            busy -= sum(
+                e.duration_ms for e in self.warmup_events if e.resource == gpu.name
+            )
+        return max(0.0, min(1.0, busy / self.elapsed_ms))
+
+    def gpu_compute_efficiency(self) -> float:
+        """Achieved fraction of GPU peak FLOP/s over the window."""
+        gpu = self.device("gpu")
+        if gpu is None or self.elapsed_ms <= 0 or gpu.peak_gflops <= 0:
+            return 0.0
+        achieved_gflops = gpu.flops / (self.elapsed_ms * 1e6)
+        return max(0.0, min(1.0, achieved_gflops / gpu.peak_gflops))
+
+    def transfer_time_ms(self) -> float:
+        return sum(e.duration_ms for e in self.transfer_events)
+
+    def transfer_bytes(self) -> int:
+        return sum(e.bytes for e in self.transfer_events)
+
+    def sync_wait_ms(self) -> float:
+        return sum(e.duration_ms for e in self.sync_events)
+
+    def warmup_ms(self) -> float:
+        return sum(e.duration_ms for e in self.warmup_events)
+
+    def peak_memory_mb(self, kind: str) -> float:
+        snapshot = self.device(kind)
+        return snapshot.peak_memory_bytes / 1e6 if snapshot else 0.0
+
+    def kernel_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.kernel_events)
+        snapshot = self.device(kind)
+        if snapshot is None:
+            return 0
+        return sum(1 for e in self.kernel_events if e.resource == snapshot.name)
+
+    def mean_kernel_ms(self, kind: str) -> float:
+        snapshot = self.device(kind)
+        if snapshot is None:
+            return 0.0
+        durations = [e.duration_ms for e in self.kernel_events if e.resource == snapshot.name]
+        return sum(durations) / len(durations) if durations else 0.0
+
+    # -- memory over time ----------------------------------------------------------
+
+    def memory_timeline(self, kind: str) -> List[Tuple[float, int]]:
+        """Reconstruct the device footprint over the window from alloc/free events."""
+        snapshot = self.device(kind)
+        if snapshot is None:
+            return []
+        current = snapshot.start_memory_bytes
+        series: List[Tuple[float, int]] = [(self.start_ms, current)]
+        for event in self.events:
+            if event.resource != snapshot.name:
+                continue
+            if event.kind == ALLOC:
+                current += event.bytes
+            elif event.kind == FREE:
+                current -= event.bytes
+            else:
+                continue
+            series.append((event.start_ms, current))
+        series.append((self.end_ms, current))
+        return series
+
+    # -- region helpers --------------------------------------------------------------
+
+    def regions(self) -> List[str]:
+        """Distinct innermost region labels, in first-seen order."""
+        seen: List[str] = []
+        for event in self.events:
+            label = event.innermost_region
+            if label and label not in seen:
+                seen.append(label)
+        return seen
+
+
+class Profiler:
+    """Captures profiling windows on a machine.
+
+    Example::
+
+        profiler = Profiler(machine)
+        with machine.activate(), profiler.capture("iteration-0"):
+            model.inference_iteration(batch)
+        profile = profiler.last_profile
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.profiles: List[Profile] = []
+
+    @property
+    def last_profile(self) -> Profile:
+        if not self.profiles:
+            raise RuntimeError("no profile captured yet")
+        return self.profiles[-1]
+
+    @contextlib.contextmanager
+    def capture(self, label: str = "", synchronize: bool = True) -> Iterator["Profiler"]:
+        """Capture everything that executes inside the block.
+
+        By default the capture ends with a device synchronisation so queued
+        GPU work is included in the window, exactly as the paper's profiling
+        scripts call ``torch.cuda.synchronize()`` around each iteration.
+        """
+        machine = self.machine
+        start_cursor = machine.event_cursor()
+        start_ms = machine.host_time_ms
+        start_memory = {d.name: d.memory.current_bytes for d in machine.devices}
+        start_busy = {d.name: d.busy_ms() for d in machine.devices}
+        start_flops = self._device_flops(machine, upto=start_cursor)
+        try:
+            yield self
+        finally:
+            if synchronize:
+                machine.synchronize(name="profiler_sync")
+            end_ms = machine.host_time_ms
+            events = tuple(machine.events.since(start_cursor))
+            devices = []
+            for device in machine.devices:
+                flops = self._device_flops(machine) .get(device.name, 0.0) - start_flops.get(
+                    device.name, 0.0
+                )
+                devices.append(
+                    DeviceSnapshot(
+                        name=device.name,
+                        kind=device.kind,
+                        peak_gflops=device.spec.peak_gflops,
+                        busy_ms=device.busy_ms() - start_busy[device.name],
+                        kernel_count=sum(
+                            1
+                            for e in events
+                            if e.kind == KERNEL and e.resource == device.name
+                        ),
+                        flops=flops,
+                        peak_memory_bytes=device.memory.peak_bytes,
+                        start_memory_bytes=start_memory[device.name],
+                        end_memory_bytes=device.memory.current_bytes,
+                    )
+                )
+            self.profiles.append(
+                Profile(
+                    start_ms=start_ms,
+                    end_ms=end_ms,
+                    events=events,
+                    devices=tuple(devices),
+                    link_name=machine.link.name,
+                    label=label,
+                )
+            )
+
+    @staticmethod
+    def _device_flops(machine: Machine, upto: Optional[int] = None) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        events = machine.events.snapshot() if upto is None else machine.events.snapshot()[:upto]
+        for event in events:
+            if event.kind == KERNEL:
+                totals[event.resource] = totals.get(event.resource, 0.0) + event.flops
+        return totals

@@ -1,0 +1,104 @@
+"""GPU warm-up accounting (the paper's Sec. 4.4 and Table 2).
+
+Separates a model's GPU activity into warm-up (context creation, weight
+upload, lazy allocation before the first iteration) and steady-state
+computation, and reports the ratios the paper highlights: warm-up as a share
+of total GPU working time (Table 2) and warm-up as a multiple of one
+steady-state iteration (the "86x / 41x / 33x" observations for TGAT and
+EvolveGCN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..hw.events import KERNEL, TRANSFER, WARMUP
+from .profiler import Profile
+
+
+@dataclass(frozen=True)
+class WarmupReport:
+    """Warm-up vs computation accounting for one configuration.
+
+    Attributes:
+        warmup_ms: Total warm-up time (context init + weight upload +
+            allocation warm-up) observed in the profile(s).
+        computation_ms: GPU kernel + transfer time outside warm-up.
+        iteration_ms: Mean steady-state single-iteration time (host clock),
+            when per-iteration profiles are supplied.
+    """
+
+    warmup_ms: float
+    computation_ms: float
+    iteration_ms: Optional[float] = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.warmup_ms + self.computation_ms
+
+    @property
+    def warmup_fraction(self) -> float:
+        """Warm-up share of the total GPU working time (Table 2's percentages)."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.warmup_ms / self.total_ms
+
+    @property
+    def warmup_per_iteration_ratio(self) -> Optional[float]:
+        """How many steady-state iterations one warm-up is worth (Sec. 4.4 text)."""
+        if self.iteration_ms is None or self.iteration_ms <= 0:
+            return None
+        return self.warmup_ms / self.iteration_ms
+
+    def as_row(self) -> dict:
+        row = {
+            "warmup_ms": round(self.warmup_ms, 3),
+            "computation_ms": round(self.computation_ms, 3),
+            "warmup_fraction": round(self.warmup_fraction, 4),
+        }
+        if self.iteration_ms is not None:
+            row["iteration_ms"] = round(self.iteration_ms, 3)
+            row["warmup_per_iteration"] = round(self.warmup_per_iteration_ratio or 0.0, 2)
+        return row
+
+
+def warmup_report(
+    warmup_profile: Profile,
+    iteration_profiles: Sequence[Profile] = (),
+) -> WarmupReport:
+    """Build a :class:`WarmupReport` from a warm-up window and iteration windows.
+
+    Args:
+        warmup_profile: Profile captured around GPU initialisation and
+            allocation warm-up (may also contain the first iteration).
+        iteration_profiles: Steady-state per-iteration profiles used for the
+            computation time and the warm-up-to-iteration ratio.
+    """
+    warmup_ms = sum(e.duration_ms for e in warmup_profile.warmup_events)
+    computation_ms = _gpu_working_ms(warmup_profile) - warmup_ms
+    for profile in iteration_profiles:
+        warmup_ms += sum(e.duration_ms for e in profile.warmup_events)
+        computation_ms += _gpu_working_ms(profile) - sum(
+            e.duration_ms for e in profile.warmup_events
+        )
+    iteration_ms = None
+    if iteration_profiles:
+        iteration_ms = sum(p.elapsed_ms for p in iteration_profiles) / len(iteration_profiles)
+    return WarmupReport(
+        warmup_ms=warmup_ms,
+        computation_ms=max(0.0, computation_ms),
+        iteration_ms=iteration_ms,
+    )
+
+
+def _gpu_working_ms(profile: Profile) -> float:
+    """GPU working time: GPU kernels + warm-up + host<->device transfers."""
+    gpu = profile.device("gpu")
+    total = 0.0
+    for event in profile.events:
+        if event.kind == TRANSFER:
+            total += event.duration_ms
+        elif gpu is not None and event.resource == gpu.name and event.kind in (KERNEL, WARMUP):
+            total += event.duration_ms
+    return total

@@ -1,0 +1,67 @@
+"""Dataset registry.
+
+Every dataset the paper's artifact appendix lists is available here by name
+at three scales: ``tiny`` (unit tests), ``small`` (examples and the default
+benchmark configuration) and ``paper`` (closest to the published sizes that a
+laptop-class machine can hold).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from .base import (
+    MolecularDataset,
+    SnapshotDataset,
+    TemporalInteractionDataset,
+    TrafficDataset,
+)
+from .interactions import github, lastfm, reddit, social_evolution, wikipedia
+from .molecules import iso17
+from .snapshot_data import bitcoin_alpha, reddit_hyperlinks, stochastic_block_model
+from .traffic import pems
+
+Dataset = Union[
+    TemporalInteractionDataset, SnapshotDataset, TrafficDataset, MolecularDataset
+]
+
+SCALES = ("tiny", "small", "paper")
+
+_REGISTRY: Dict[str, Callable[..., Dataset]] = {
+    "wikipedia": wikipedia,
+    "reddit": reddit,
+    "lastfm": lastfm,
+    "social-evolution": social_evolution,
+    "github": github,
+    "bitcoin-alpha": bitcoin_alpha,
+    "reddit-hyperlinks": reddit_hyperlinks,
+    "sbm": stochastic_block_model,
+    "pems": pems,
+    "iso17": iso17,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of every registered dataset, sorted."""
+    return sorted(_REGISTRY)
+
+
+def load(name: str, scale: str = "small", seed: int | None = None) -> Dataset:
+    """Load a dataset by name.
+
+    Args:
+        name: One of :func:`available_datasets`.
+        scale: ``"tiny"``, ``"small"`` or ``"paper"``.
+        seed: Override the dataset's default seed (affects the synthetic
+            generator, keeping everything else identical).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    factory = _REGISTRY[name]
+    if seed is None:
+        return factory(scale=scale)
+    return factory(scale=scale, seed=seed)

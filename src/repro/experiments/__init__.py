@@ -1,0 +1,58 @@
+"""Experiment harnesses regenerating every table and figure in the paper's
+evaluation, plus the ablations for the Sec. 5 optimization proposals."""
+
+from typing import Callable, Dict, List
+
+from . import ablations, fig6, fig7, fig8, fig9, table1, table2, warmup_onetime
+from .runner import (
+    ExperimentResult,
+    measure_iteration_latency,
+    new_machine,
+    profile_iterations,
+    profile_single_iteration,
+)
+
+#: All experiments keyed by their id.  ``run(**kwargs)`` on each module
+#: returns an :class:`ExperimentResult`.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "warmup_onetime": warmup_onetime.run,
+    "ablations": ablations.run,
+}
+
+
+def available_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        )
+    return EXPERIMENTS[name](**kwargs)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "available_experiments",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "measure_iteration_latency",
+    "new_machine",
+    "profile_iterations",
+    "profile_single_iteration",
+    "run_experiment",
+    "table1",
+    "table2",
+    "warmup_onetime",
+]

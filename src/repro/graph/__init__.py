@@ -1,0 +1,36 @@
+"""Graph substrates: static CSR graphs, discrete-time snapshot sequences,
+continuous-time event streams, temporal neighbourhood sampling and JODIE's
+t-batching."""
+
+from .events import EventStream, InteractionEvent
+from .sampling import (
+    NeighborhoodSample,
+    SamplingCostModel,
+    TemporalNeighborSampler,
+    recency_decay_weights,
+)
+from .snapshots import (
+    GraphSnapshot,
+    SnapshotDelta,
+    SnapshotSequence,
+    snapshots_from_events,
+)
+from .static import CSRGraph
+from .tbatch import TBatch, build_tbatches, validate_tbatches
+
+__all__ = [
+    "CSRGraph",
+    "EventStream",
+    "GraphSnapshot",
+    "InteractionEvent",
+    "NeighborhoodSample",
+    "SamplingCostModel",
+    "SnapshotDelta",
+    "SnapshotSequence",
+    "TBatch",
+    "TemporalNeighborSampler",
+    "build_tbatches",
+    "recency_decay_weights",
+    "snapshots_from_events",
+    "validate_tbatches",
+]

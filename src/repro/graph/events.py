@@ -1,0 +1,164 @@
+"""Continuous-time dynamic graphs as event streams.
+
+CTDG models (JODIE, TGN, TGAT, DyRep, LDG) consume a stream of timestamped
+interaction events ``(source, destination, timestamp, features)``.  The
+stream is stored as flat numpy arrays sorted by time -- the layout the
+reference implementations load from the Stanford SNAP CSV files -- and
+supports the operations those models need: time-range slicing, mini-batching
+in temporal order, and per-node interaction histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """A single interaction between two nodes at a point in time."""
+
+    src: int
+    dst: int
+    timestamp: float
+    features: np.ndarray
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.features.shape[-1])
+
+
+class EventStream:
+    """A time-sorted sequence of interaction events.
+
+    Attributes:
+        src / dst: (E,) integer node ids.
+        timestamps: (E,) float timestamps, non-decreasing.
+        edge_features: (E, F) float edge features.
+        num_nodes: Total number of distinct node ids the stream may reference.
+    """
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        timestamps: np.ndarray,
+        edge_features: Optional[np.ndarray] = None,
+        num_nodes: Optional[int] = None,
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.timestamps = np.asarray(timestamps, dtype=np.float64)
+        if not (len(self.src) == len(self.dst) == len(self.timestamps)):
+            raise ValueError("src, dst and timestamps must have equal length")
+        if np.any(np.diff(self.timestamps) < 0):
+            raise ValueError("timestamps must be non-decreasing")
+        if edge_features is None:
+            edge_features = np.zeros((len(self.src), 1), dtype=np.float32)
+        self.edge_features = np.asarray(edge_features, dtype=np.float32)
+        if self.edge_features.ndim != 2 or len(self.edge_features) != len(self.src):
+            raise ValueError("edge_features must be (num_events, feature_dim)")
+        inferred = int(max(self.src.max(initial=-1), self.dst.max(initial=-1)) + 1)
+        self.num_nodes = int(num_nodes) if num_nodes is not None else inferred
+        if self.num_nodes < inferred:
+            raise ValueError("num_nodes smaller than the largest referenced id")
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return int(len(self.src))
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.edge_features.shape[1])
+
+    @property
+    def time_span(self) -> Tuple[float, float]:
+        if self.num_events == 0:
+            return (0.0, 0.0)
+        return (float(self.timestamps[0]), float(self.timestamps[-1]))
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __getitem__(self, index: int) -> InteractionEvent:
+        return InteractionEvent(
+            src=int(self.src[index]),
+            dst=int(self.dst[index]),
+            timestamp=float(self.timestamps[index]),
+            features=self.edge_features[index],
+        )
+
+    def __iter__(self) -> Iterator[InteractionEvent]:
+        for index in range(self.num_events):
+            yield self[index]
+
+    # -- slicing -------------------------------------------------------------
+
+    def slice_indices(self, start: int, stop: int) -> "EventStream":
+        """Sub-stream of events with positions in ``[start, stop)``."""
+        return EventStream(
+            self.src[start:stop],
+            self.dst[start:stop],
+            self.timestamps[start:stop],
+            self.edge_features[start:stop],
+            num_nodes=self.num_nodes,
+        )
+
+    def before(self, timestamp: float) -> "EventStream":
+        """Events strictly earlier than ``timestamp``."""
+        cutoff = int(np.searchsorted(self.timestamps, timestamp, side="left"))
+        return self.slice_indices(0, cutoff)
+
+    def between(self, start_time: float, end_time: float) -> "EventStream":
+        """Events with ``start_time <= t < end_time``."""
+        lo = int(np.searchsorted(self.timestamps, start_time, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end_time, side="left"))
+        return self.slice_indices(lo, hi)
+
+    def iter_batches(self, batch_size: int) -> Iterator["EventStream"]:
+        """Yield consecutive mini-batches of events in temporal order."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, self.num_events, batch_size):
+            yield self.slice_indices(start, min(start + batch_size, self.num_events))
+
+    # -- per-node views --------------------------------------------------------
+
+    def node_history(self, node: int, before_time: Optional[float] = None) -> np.ndarray:
+        """Positions of events involving ``node`` (optionally before a time)."""
+        mask = (self.src == node) | (self.dst == node)
+        if before_time is not None:
+            mask &= self.timestamps < before_time
+        return np.nonzero(mask)[0]
+
+    def active_nodes(self) -> np.ndarray:
+        """Sorted unique node ids that appear in the stream."""
+        return np.unique(np.concatenate([self.src, self.dst]))
+
+    # -- conversion --------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Host memory footprint of the stream arrays."""
+        return int(
+            self.src.nbytes + self.dst.nbytes + self.timestamps.nbytes + self.edge_features.nbytes
+        )
+
+    def to_snapshots(self, num_snapshots: int) -> Sequence[Tuple[float, np.ndarray, np.ndarray]]:
+        """Partition the stream into equal time windows.
+
+        Returns a list of ``(window_end_time, src_slice, dst_slice)`` tuples;
+        used by discrete-time views and the delta-transfer optimization.
+        """
+        if num_snapshots <= 0:
+            raise ValueError("num_snapshots must be positive")
+        start, end = self.time_span
+        edges = np.linspace(start, end, num_snapshots + 1)
+        windows = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            sub = self.between(lo, hi if hi != end else end + 1)
+            windows.append((float(hi), sub.src.copy(), sub.dst.copy()))
+        return windows

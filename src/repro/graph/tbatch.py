@@ -1,0 +1,108 @@
+"""JODIE's t-batch algorithm.
+
+JODIE processes interactions in "t-batches": the stream is partitioned so
+that within a batch no two interactions share a user or an item, which lets
+the batch's recurrent updates run in parallel while still respecting each
+node's temporal order across batches.  The paper reports a 9.2x speedup from
+t-batching and uses it in the profiled inference configuration, while also
+noting that building the batches is CPU-side preprocessing that contributes
+to the workload-imbalance bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..hw.machine import current_machine, has_active_machine
+from .events import EventStream
+
+#: Host-side cost of assigning one interaction to a t-batch (dictionary
+#: lookups and appends in the reference implementation).
+TBATCH_COST_PER_EVENT_US = 1.2
+
+
+@dataclass(frozen=True)
+class TBatch:
+    """One t-batch: event positions whose users and items are all distinct."""
+
+    event_indices: np.ndarray
+    users: np.ndarray
+    items: np.ndarray
+    timestamps: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(len(self.event_indices))
+
+
+def build_tbatches(stream: EventStream, charge_host: bool = True) -> List[TBatch]:
+    """Partition an interaction stream into t-batches.
+
+    Uses the greedy rule from the JODIE paper: an interaction goes into batch
+    ``max(last_batch(user), last_batch(item)) + 1``.  The result preserves
+    per-node temporal order (a node's interactions appear in increasing batch
+    index) while maximising intra-batch parallelism.
+
+    Args:
+        stream: Interaction stream (sorted by time).
+        charge_host: Whether to charge the preprocessing cost to the active
+            machine (on by default; disable for pure algorithmic use).
+    """
+    last_batch_of_node: dict[int, int] = {}
+    assignments = np.zeros(stream.num_events, dtype=np.int64)
+    for index in range(stream.num_events):
+        user = int(stream.src[index])
+        item = int(stream.dst[index])
+        batch_index = max(
+            last_batch_of_node.get(user, -1), last_batch_of_node.get(item, -1)
+        ) + 1
+        assignments[index] = batch_index
+        last_batch_of_node[user] = batch_index
+        last_batch_of_node[item] = batch_index
+    if charge_host and has_active_machine():
+        cost_ms = stream.num_events * TBATCH_COST_PER_EVENT_US * 1e-3
+        current_machine().host_work("tbatch_construction", cost_ms)
+    num_batches = int(assignments.max() + 1) if stream.num_events else 0
+    batches: List[TBatch] = []
+    for batch_index in range(num_batches):
+        positions = np.nonzero(assignments == batch_index)[0]
+        batches.append(
+            TBatch(
+                event_indices=positions,
+                users=stream.src[positions],
+                items=stream.dst[positions],
+                timestamps=stream.timestamps[positions],
+            )
+        )
+    return batches
+
+
+def validate_tbatches(stream: EventStream, batches: Sequence[TBatch]) -> bool:
+    """Check the two t-batch invariants.
+
+    1. Within a batch, no user and no item appears twice.
+    2. Across batches, each node's interactions appear in non-decreasing
+       temporal order of batch index.
+
+    Returns True when both hold; raises ``ValueError`` otherwise (so tests can
+    assert on the message).
+    """
+    seen_events = 0
+    last_batch_of_node: dict[int, int] = {}
+    for batch_index, batch in enumerate(batches):
+        if len(set(batch.users.tolist())) != len(batch.users):
+            raise ValueError(f"batch {batch_index} repeats a user")
+        if len(set(batch.items.tolist())) != len(batch.items):
+            raise ValueError(f"batch {batch_index} repeats an item")
+        for node in np.concatenate([batch.users, batch.items]):
+            previous = last_batch_of_node.get(int(node), -1)
+            if batch_index < previous:
+                raise ValueError(f"node {int(node)} goes backwards in time")
+            last_batch_of_node[int(node)] = batch_index
+        seen_events += batch.size
+    if seen_events != stream.num_events:
+        raise ValueError("t-batches do not cover the stream exactly once")
+    return True

@@ -1,0 +1,55 @@
+"""Hardware simulation substrate.
+
+This package models the paper's experimental platform -- an Intel Xeon Gold
+6226R host, an NVIDIA RTX A6000 GPU and the PCIe link between them -- as an
+analytic simulator.  Tensor operators and graph preprocessing charge work to
+the simulated devices; the profiler in :mod:`repro.core` reads the resulting
+event log to produce the breakdowns, utilization curves and memory figures the
+paper obtains from PyTorch Profiler and Nsight Systems.
+"""
+
+from .device import Device, KernelCost
+from .events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event, EventLog
+from .link import Link
+from .machine import Machine, NoActiveMachineError, current_machine, has_active_machine
+from .memory import Allocation, MemoryPool, OutOfMemoryError
+from .spec import (
+    DEFAULT_WARMUP,
+    PCIE_GEN4,
+    RTX_A6000,
+    XEON_6226R,
+    DeviceSpec,
+    LinkSpec,
+    WarmupSpec,
+)
+from .timeline import Interval, Timeline
+
+__all__ = [
+    "ALLOC",
+    "FREE",
+    "KERNEL",
+    "SYNC",
+    "TRANSFER",
+    "WARMUP",
+    "Allocation",
+    "DEFAULT_WARMUP",
+    "Device",
+    "DeviceSpec",
+    "Event",
+    "EventLog",
+    "Interval",
+    "KernelCost",
+    "Link",
+    "LinkSpec",
+    "Machine",
+    "MemoryPool",
+    "NoActiveMachineError",
+    "OutOfMemoryError",
+    "PCIE_GEN4",
+    "RTX_A6000",
+    "Timeline",
+    "WarmupSpec",
+    "XEON_6226R",
+    "current_machine",
+    "has_active_machine",
+]

@@ -1,0 +1,120 @@
+"""Simulated compute devices.
+
+A :class:`Device` combines a :class:`~repro.hw.spec.DeviceSpec` with a busy
+:class:`~repro.hw.timeline.Timeline` and a :class:`~repro.hw.memory.MemoryPool`.
+The :class:`~repro.hw.machine.Machine` schedules kernels onto devices; the
+device computes kernel durations from its roofline cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .memory import MemoryPool
+from .spec import DeviceSpec
+from .timeline import Interval, Timeline
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Breakdown of one kernel's simulated cost.
+
+    Attributes:
+        compute_ms: Time the execution units spend on floating point work.
+        memory_ms: Time bound by device memory bandwidth.
+        launch_ms: Fixed launch/dispatch overhead on the device.
+        duration_ms: Total device-side duration
+            (``launch + max(compute, memory)``, floored at ``min_kernel_us``).
+    """
+
+    compute_ms: float
+    memory_ms: float
+    launch_ms: float
+    duration_ms: float
+
+
+class Device:
+    """A simulated CPU or GPU.
+
+    Args:
+        spec: Cost-model parameters of the device.
+        strict_memory: Whether the memory pool enforces the capacity.
+    """
+
+    def __init__(self, spec: DeviceSpec, strict_memory: bool = False) -> None:
+        self.spec = spec
+        self.timeline = Timeline(spec.name)
+        self.memory = MemoryPool(
+            spec.name, int(spec.memory_capacity_mb * 1e6), strict=strict_memory
+        )
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.is_gpu
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.is_cpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.spec.name!r}, kind={self.spec.kind!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Device) and other.spec.name == self.spec.name
+
+    def __hash__(self) -> int:
+        return hash(self.spec.name)
+
+    # -- cost model -----------------------------------------------------
+
+    def kernel_cost(self, flops: float, bytes_moved: float) -> KernelCost:
+        """Duration of one kernel under the device's roofline model.
+
+        The kernel is compute bound when ``flops / effective_gflops`` exceeds
+        ``bytes / bandwidth`` and memory bound otherwise; a fixed launch
+        overhead is always added.  Small kernels are penalised through the
+        spec's saturation curve, which is the mechanism behind low GPU
+        utilization for serialized DGNN updates.
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        effective = self.spec.effective_gflops(flops)
+        compute_ms = flops / (effective * 1e6) if flops > 0 else 0.0
+        memory_ms = bytes_moved / (self.spec.mem_bandwidth_gbps * 1e6)
+        launch_ms = self.spec.launch_overhead_us * 1e-3
+        body_ms = max(compute_ms, memory_ms, self.spec.min_kernel_us * 1e-3)
+        return KernelCost(
+            compute_ms=compute_ms,
+            memory_ms=memory_ms,
+            launch_ms=launch_ms,
+            duration_ms=launch_ms + body_ms,
+        )
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, ready_ms: float, duration_ms: float, label: str) -> Interval:
+        """Place a busy interval on the device timeline."""
+        return self.timeline.reserve(ready_ms, duration_ms, label)
+
+    @property
+    def free_at(self) -> float:
+        return self.timeline.free_at
+
+    # -- statistics -----------------------------------------------------
+
+    def busy_ms(self, start_ms: Optional[float] = None, end_ms: Optional[float] = None) -> float:
+        return self.timeline.busy_ms(start_ms, end_ms)
+
+    def utilization(self, start_ms: float, end_ms: float) -> float:
+        return self.timeline.utilization(start_ms, end_ms)

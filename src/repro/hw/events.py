@@ -1,0 +1,137 @@
+"""Event records emitted by the hardware simulator.
+
+Every simulated action -- a compute kernel, a host<->device transfer, a
+warm-up step or a memory (de)allocation -- produces one event.  The profiler
+in :mod:`repro.core` consumes the event stream to build the breakdowns,
+utilization timelines and memory curves that the paper derives from PyTorch
+Profiler and NVIDIA Nsight Systems traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+#: Event kinds.
+KERNEL = "kernel"
+TRANSFER = "transfer"
+WARMUP = "warmup"
+ALLOC = "alloc"
+FREE = "free"
+SYNC = "sync"
+
+_VALID_KINDS = frozenset({KERNEL, TRANSFER, WARMUP, ALLOC, FREE, SYNC})
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped action on a simulated device or link.
+
+    Attributes:
+        kind: One of ``kernel``, ``transfer``, ``warmup``, ``alloc``, ``free``
+            or ``sync``.
+        name: Operation name (e.g. ``"gemm"``, ``"h2d"``, ``"context_init"``).
+        resource: Name of the device or link the event occupies.
+        start_ms / end_ms: Simulated start and end time in milliseconds.
+        flops: Floating point work performed (kernels only).
+        bytes: Bytes moved or allocated.
+        region: The region-annotation stack active when the event was issued,
+            outermost first (e.g. ``("iteration", "Sampling")``).
+        src / dst: For transfers, source and destination device names.
+    """
+
+    kind: str
+    name: str
+    resource: str
+    start_ms: float
+    end_ms: float
+    flops: float = 0.0
+    bytes: int = 0
+    region: Tuple[str, ...] = ()
+    src: str = ""
+    dst: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown event kind: {self.kind!r}")
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"event {self.name!r} ends ({self.end_ms}) before it starts "
+                f"({self.start_ms})"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def innermost_region(self) -> str:
+        """The most specific region label, or ``""`` when unannotated."""
+        return self.region[-1] if self.region else ""
+
+    @property
+    def outermost_region(self) -> str:
+        return self.region[0] if self.region else ""
+
+    def in_region(self, label: str) -> bool:
+        """Whether ``label`` appears anywhere in the region stack."""
+        return label in self.region
+
+    def overlaps(self, start_ms: float, end_ms: float) -> bool:
+        """Whether this event overlaps the half-open window [start, end)."""
+        return self.start_ms < end_ms and self.end_ms > start_ms
+
+    def overlap_ms(self, start_ms: float, end_ms: float) -> float:
+        """Length of the overlap between the event and a window."""
+        lo = max(self.start_ms, start_ms)
+        hi = min(self.end_ms, end_ms)
+        return max(0.0, hi - lo)
+
+
+class EventLog:
+    """An append-only sequence of :class:`Event` objects.
+
+    The machine owns one log per run context; profilers snapshot slices of it.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def snapshot(self) -> Sequence[Event]:
+        """An immutable copy of the current event list."""
+        return tuple(self._events)
+
+    def since(self, index: int) -> Sequence[Event]:
+        """Events appended at or after position ``index``."""
+        return tuple(self._events[index:])
+
+    def of_kind(self, kind: str) -> Sequence[Event]:
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def on_resource(self, resource: str) -> Sequence[Event]:
+        return tuple(e for e in self._events if e.resource == resource)
+
+    def total_time_ms(self, kind: str | None = None) -> float:
+        """Sum of event durations, optionally restricted to one kind."""
+        return sum(
+            e.duration_ms for e in self._events if kind is None or e.kind == kind
+        )

@@ -1,0 +1,79 @@
+"""Simulated host<->device interconnect (PCIe).
+
+The paper identifies CPU<->GPU data movement as one of the four DGNN
+bottlenecks (Sec. 4.3): per-snapshot topology reloads (EvolveGCN), adjacency
+matrix shuttling (MolDGNN), per-batch raw-message exchange (TGN) and
+post-sampling embedding uploads (TGAT) all traverse PCIe.  The :class:`Link`
+class models that channel as a single shared resource with latency and
+bandwidth, and keeps its own busy timeline so the profiler can attribute
+"Memory Copy" time exactly as Nsight does.
+"""
+
+from __future__ import annotations
+
+from .spec import LinkSpec
+from .timeline import Interval, Timeline
+
+
+class Link:
+    """A bidirectional host<->device link with a shared busy timeline."""
+
+    def __init__(self, spec: LinkSpec) -> None:
+        self.spec = spec
+        self.timeline = Timeline(spec.name)
+        self._bytes_h2d = 0
+        self._bytes_d2h = 0
+        self._transfers = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def free_at(self) -> float:
+        return self.timeline.free_at
+
+    def transfer_ms(self, nbytes: int) -> float:
+        """Duration of a transfer of ``nbytes`` bytes."""
+        return self.spec.transfer_ms(nbytes)
+
+    def schedule(self, ready_ms: float, nbytes: int, direction: str, label: str) -> Interval:
+        """Occupy the link for one transfer and record per-direction volume.
+
+        Args:
+            ready_ms: Earliest time the transfer may start.
+            nbytes: Payload size in bytes.
+            direction: ``"h2d"`` or ``"d2h"``.
+            label: Event label for the timeline.
+        """
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"unknown transfer direction: {direction!r}")
+        duration = self.transfer_ms(nbytes)
+        interval = self.timeline.reserve(ready_ms, duration, label)
+        if direction == "h2d":
+            self._bytes_h2d += nbytes
+        else:
+            self._bytes_d2h += nbytes
+        self._transfers += 1
+        return interval
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def bytes_h2d(self) -> int:
+        return self._bytes_h2d
+
+    @property
+    def bytes_d2h(self) -> int:
+        return self._bytes_d2h
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes_h2d + self._bytes_d2h
+
+    @property
+    def transfer_count(self) -> int:
+        return self._transfers
+
+    def busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
+        return self.timeline.busy_ms(start_ms, end_ms)

@@ -1,0 +1,400 @@
+"""The simulated machine: host CPU, optional GPU, and the link between them.
+
+The :class:`Machine` is the execution context every other layer talks to.
+Tensor operators (:mod:`repro.tensor`) ask it to launch kernels and schedule
+transfers; the graph samplers charge CPU preprocessing work to it; models ask
+it for the preferred compute device; and the profiler (:mod:`repro.core`)
+reads its event log, device timelines and memory pools.
+
+Scheduling semantics (deliberately simple, but sufficient to reproduce all
+four bottlenecks in the paper):
+
+* The machine keeps a single *host time* cursor modelling the Python/PyTorch
+  host thread that drives inference.
+* CPU kernels run synchronously: they occupy the CPU timeline and advance the
+  host cursor to their completion.
+* GPU kernels are launched asynchronously: the host cursor only advances by
+  the (small) launch call overhead, while the kernel itself is queued on the
+  GPU timeline behind previously launched kernels.  Because DGNN kernels are
+  issued one after another with data dependencies, they serialize on the GPU
+  stream -- the temporal-dependency bottleneck.
+* Host<->device transfers occupy the link timeline and are *blocking*: the
+  host waits for completion (mirroring unpinned-memory copies in PyTorch).
+  They appear as "Memory Copy" in the breakdowns -- the data-movement
+  bottleneck.
+* ``synchronize()`` advances the host cursor to the completion of all queued
+  GPU work, as ``torch.cuda.synchronize()`` does.
+* GPU warm-up (context creation, weight upload, allocation warm-up) is
+  modelled explicitly and emits ``warmup`` events -- the warm-up bottleneck.
+* While the CPU runs long preprocessing (e.g. temporal neighbourhood
+  sampling) the GPU timeline simply stays idle, which is exactly the
+  workload-imbalance signature the paper reports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence
+
+from .device import Device
+from .events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event, EventLog
+from .link import Link
+from .spec import (
+    DEFAULT_WARMUP,
+    PCIE_GEN4,
+    RTX_A6000,
+    XEON_6226R,
+    DeviceSpec,
+    LinkSpec,
+    WarmupSpec,
+)
+
+_ACTIVE_MACHINE: List["Machine"] = []
+
+
+class NoActiveMachineError(RuntimeError):
+    """Raised when an operation needs a machine but none is active."""
+
+
+def current_machine() -> "Machine":
+    """The innermost active machine (see :meth:`Machine.activate`)."""
+    if not _ACTIVE_MACHINE:
+        raise NoActiveMachineError(
+            "no active Machine; wrap the computation in `with machine.activate():`"
+        )
+    return _ACTIVE_MACHINE[-1]
+
+
+def has_active_machine() -> bool:
+    return bool(_ACTIVE_MACHINE)
+
+
+class Machine:
+    """A host CPU, an optional GPU, and the PCIe link connecting them."""
+
+    def __init__(
+        self,
+        cpu_spec: DeviceSpec = XEON_6226R,
+        gpu_spec: Optional[DeviceSpec] = RTX_A6000,
+        link_spec: LinkSpec = PCIE_GEN4,
+        warmup_spec: WarmupSpec = DEFAULT_WARMUP,
+        strict_memory: bool = False,
+    ) -> None:
+        self.cpu = Device(cpu_spec, strict_memory=strict_memory)
+        self.gpu: Optional[Device] = (
+            Device(gpu_spec, strict_memory=strict_memory) if gpu_spec is not None else None
+        )
+        self.link = Link(link_spec)
+        self.warmup_spec = warmup_spec
+        self.events = EventLog()
+        self._host_time = 0.0
+        self._region_stack: List[str] = []
+        self._gpu_context_ready = False
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def cpu_only(cls, cpu_spec: DeviceSpec = XEON_6226R, **kwargs) -> "Machine":
+        """A machine without a GPU (the paper's CPU-only baseline runs)."""
+        return cls(cpu_spec=cpu_spec, gpu_spec=None, **kwargs)
+
+    @classmethod
+    def cpu_gpu(
+        cls,
+        cpu_spec: DeviceSpec = XEON_6226R,
+        gpu_spec: DeviceSpec = RTX_A6000,
+        **kwargs,
+    ) -> "Machine":
+        """The paper's default Xeon 6226R + RTX A6000 configuration."""
+        return cls(cpu_spec=cpu_spec, gpu_spec=gpu_spec, **kwargs)
+
+    # -- device selection -----------------------------------------------
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def host_device(self) -> Device:
+        """The device where host-side preprocessing (sampling, batching) runs."""
+        return self.cpu
+
+    @property
+    def compute_device(self) -> Device:
+        """The preferred device for model compute: the GPU when present."""
+        return self.gpu if self.gpu is not None else self.cpu
+
+    def device(self, name: str) -> Device:
+        """Look a device up by name or kind (``"cpu"``/``"gpu"``)."""
+        if name in (self.cpu.name, "cpu"):
+            return self.cpu
+        if self.gpu is not None and name in (self.gpu.name, "gpu"):
+            return self.gpu
+        raise KeyError(f"unknown device {name!r} on this machine")
+
+    @property
+    def devices(self) -> Sequence[Device]:
+        return (self.cpu,) if self.gpu is None else (self.cpu, self.gpu)
+
+    # -- activation ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Machine"]:
+        """Make this machine the ambient execution context for tensor ops."""
+        _ACTIVE_MACHINE.append(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_MACHINE.pop()
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def host_time_ms(self) -> float:
+        """Current simulated time as observed by the host thread."""
+        return self._host_time
+
+    def advance_host(self, duration_ms: float) -> None:
+        """Advance the host cursor by a pure-host cost (Python overhead etc.)."""
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        self._host_time += duration_ms
+
+    # -- regions ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def region(self, label: str) -> Iterator[None]:
+        """Annotate all events issued inside the block with ``label``.
+
+        Regions nest; the full stack is attached to each event so the
+        profiler can aggregate at any granularity (outer phase such as
+        "iteration", or inner module such as "Sampling").
+        """
+        self._region_stack.append(label)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    @property
+    def current_region(self) -> tuple:
+        return tuple(self._region_stack)
+
+    # -- kernels -----------------------------------------------------------
+
+    def launch_kernel(
+        self,
+        device: Device,
+        name: str,
+        flops: float,
+        bytes_moved: float,
+    ) -> Event:
+        """Launch a compute kernel on ``device`` and record the event.
+
+        CPU kernels block the host until completion.  GPU kernels are
+        asynchronous: the host pays only the launch-call overhead and the
+        kernel queues behind prior GPU work.
+        """
+        cost = device.kernel_cost(flops, bytes_moved)
+        if device.is_gpu:
+            if not self._gpu_context_ready:
+                self.initialize_gpu(model_bytes=0)
+            self._host_time += device.spec.host_overhead_us * 1e-3
+            interval = device.schedule(self._host_time, cost.duration_ms, name)
+        else:
+            interval = device.schedule(self._host_time, cost.duration_ms, name)
+            self._host_time = interval.end_ms
+        event = Event(
+            kind=KERNEL,
+            name=name,
+            resource=device.name,
+            start_ms=interval.start_ms,
+            end_ms=interval.end_ms,
+            flops=flops,
+            bytes=int(bytes_moved),
+            region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    def host_work(self, name: str, duration_ms: float) -> Event:
+        """Charge host-only work (Python bookkeeping, data loading) to the CPU."""
+        interval = self.cpu.schedule(self._host_time, duration_ms, name)
+        self._host_time = interval.end_ms
+        event = Event(
+            kind=KERNEL,
+            name=name,
+            resource=self.cpu.name,
+            start_ms=interval.start_ms,
+            end_ms=interval.end_ms,
+            region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    # -- transfers ----------------------------------------------------------
+
+    def transfer(
+        self,
+        src: Device,
+        dst: Device,
+        nbytes: int,
+        name: str = "memcpy",
+    ) -> Event:
+        """Move ``nbytes`` between devices over the link (blocking the host).
+
+        Transfers between a device and itself are free and emit no event.
+        """
+        if src == dst:
+            raise ValueError("transfer requires two distinct devices")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        direction = "h2d" if dst.is_gpu else "d2h"
+        if (src.is_gpu or dst.is_gpu) and not self._gpu_context_ready:
+            self.initialize_gpu(model_bytes=0)
+        # The payload must exist before it can be copied: wait for the
+        # producing device to finish its queued work.
+        ready = max(self._host_time, src.free_at)
+        interval = self.link.schedule(ready, nbytes, direction, name)
+        self._host_time = interval.end_ms
+        event = Event(
+            kind=TRANSFER,
+            name=name,
+            resource=self.link.name,
+            start_ms=interval.start_ms,
+            end_ms=interval.end_ms,
+            bytes=nbytes,
+            region=self.current_region,
+            src=src.name,
+            dst=dst.name,
+        )
+        self.events.append(event)
+        return event
+
+    # -- synchronisation ------------------------------------------------------
+
+    def synchronize(self, name: str = "cuda_sync") -> Event:
+        """Block the host until all queued device work has completed."""
+        start = self._host_time
+        pending = max((d.free_at for d in self.devices), default=start)
+        pending = max(pending, self.link.free_at)
+        end = max(start, pending)
+        self._host_time = end
+        event = Event(
+            kind=SYNC,
+            name=name,
+            resource=self.cpu.name,
+            start_ms=start,
+            end_ms=end,
+            region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    # -- warm-up ------------------------------------------------------------
+
+    @property
+    def gpu_context_ready(self) -> bool:
+        return self._gpu_context_ready
+
+    def initialize_gpu(self, model_bytes: int = 0) -> List[Event]:
+        """Perform one-time GPU warm-up: context creation and weight upload.
+
+        Returns the warm-up events (empty when there is no GPU or the context
+        already exists).  Mirrors the paper's Sec. 4.4 "model initialization"
+        component, which it measures at several seconds.
+        """
+        if self.gpu is None or self._gpu_context_ready:
+            return []
+        self._gpu_context_ready = True
+        emitted: List[Event] = []
+        context_ms = self.warmup_spec.context_init_ms
+        interval = self.gpu.schedule(self._host_time, context_ms, "context_init")
+        self._host_time = interval.end_ms
+        context_event = Event(
+            kind=WARMUP,
+            name="context_init",
+            resource=self.gpu.name,
+            start_ms=interval.start_ms,
+            end_ms=interval.end_ms,
+            region=self.current_region,
+        )
+        self.events.append(context_event)
+        emitted.append(context_event)
+        if model_bytes > 0:
+            emitted.append(
+                self.transfer(self.cpu, self.gpu, model_bytes, name="weight_upload")
+            )
+        return emitted
+
+    def allocation_warmup(self, footprint_bytes: int) -> Optional[Event]:
+        """Per-run lazy-allocation warm-up proportional to the batch footprint.
+
+        Mirrors the second warm-up component of Sec. 4.4 (Table 2): before the
+        first iteration the GPU allocates memory for the batch, and the cost
+        grows with the amount of data the run will keep on-chip.
+        """
+        if self.gpu is None:
+            return None
+        if not self._gpu_context_ready:
+            self.initialize_gpu(model_bytes=0)
+        duration = self.warmup_spec.allocation_warmup_ms(footprint_bytes / 1e6)
+        interval = self.gpu.schedule(self._host_time, duration, "allocation_warmup")
+        self._host_time = interval.end_ms
+        event = Event(
+            kind=WARMUP,
+            name="allocation_warmup",
+            resource=self.gpu.name,
+            start_ms=interval.start_ms,
+            end_ms=interval.end_ms,
+            bytes=footprint_bytes,
+            region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    # -- memory ------------------------------------------------------------
+
+    def alloc(self, device: Device, nbytes: int, tag: str = "") -> int:
+        """Register a device allocation and emit an ``alloc`` event."""
+        alloc_id = device.memory.alloc(nbytes, tag=tag, at_ms=self._host_time)
+        self.events.append(
+            Event(
+                kind=ALLOC,
+                name=tag or "alloc",
+                resource=device.name,
+                start_ms=self._host_time,
+                end_ms=self._host_time,
+                bytes=nbytes,
+                region=self.current_region,
+            )
+        )
+        return alloc_id
+
+    def free(self, device: Device, alloc_id: int) -> int:
+        """Release a device allocation and emit a ``free`` event."""
+        nbytes = device.memory.free(alloc_id, at_ms=self._host_time)
+        self.events.append(
+            Event(
+                kind=FREE,
+                name="free",
+                resource=device.name,
+                start_ms=self._host_time,
+                end_ms=self._host_time,
+                bytes=nbytes,
+                region=self.current_region,
+            )
+        )
+        return nbytes
+
+    # -- reporting helpers ----------------------------------------------------
+
+    def gpu_utilization(self, start_ms: float, end_ms: float) -> float:
+        """GPU busy fraction over a window (0.0 when there is no GPU)."""
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.utilization(start_ms, end_ms)
+
+    def event_cursor(self) -> int:
+        """Current position in the event log (for profiler snapshots)."""
+        return len(self.events)

@@ -1,0 +1,147 @@
+"""Per-resource busy timelines.
+
+A :class:`Timeline` records the busy intervals of one simulated resource (a
+device's execution units or the PCIe link).  It answers the questions the
+paper asks of Nsight traces: how busy was the GPU over a window (utilization),
+when does the resource next become free (for scheduling), and how does
+utilization evolve over time (Fig. 9's utilization-vs-time plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open busy interval ``[start_ms, end_ms)`` with a label."""
+
+    start_ms: float
+    end_ms: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValueError("interval ends before it starts")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+class Timeline:
+    """Append-only list of non-overlapping, time-ordered busy intervals.
+
+    The simulator always schedules a new interval to start at or after the
+    current ``free_at`` point, so intervals are naturally sorted and disjoint;
+    this class enforces that invariant.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._intervals: List[Interval] = []
+
+    # -- recording ------------------------------------------------------
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time at which the resource is free."""
+        return self._intervals[-1].end_ms if self._intervals else 0.0
+
+    def reserve(self, ready_ms: float, duration_ms: float, label: str = "") -> Interval:
+        """Schedule a busy interval of ``duration_ms`` starting no earlier
+        than ``ready_ms`` and no earlier than the end of the last interval.
+
+        Returns the scheduled :class:`Interval`.
+        """
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(ready_ms, self.free_at)
+        interval = Interval(start, start + duration_ms, label)
+        self._intervals.append(interval)
+        return interval
+
+    # -- queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        return tuple(self._intervals)
+
+    def busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
+        """Total busy time, optionally clipped to a window."""
+        if start_ms is None and end_ms is None:
+            return sum(i.duration_ms for i in self._intervals)
+        lo = start_ms if start_ms is not None else float("-inf")
+        hi = end_ms if end_ms is not None else float("inf")
+        total = 0.0
+        for interval in self._intervals:
+            overlap = min(interval.end_ms, hi) - max(interval.start_ms, lo)
+            if overlap > 0:
+                total += overlap
+        return total
+
+    def utilization(self, start_ms: float, end_ms: float) -> float:
+        """Fraction of the window [start, end) during which the resource is busy."""
+        if end_ms <= start_ms:
+            return 0.0
+        return self.busy_ms(start_ms, end_ms) / (end_ms - start_ms)
+
+    def utilization_series(
+        self, start_ms: float, end_ms: float, bin_ms: float
+    ) -> List[Tuple[float, float]]:
+        """Binned utilization over a window.
+
+        Returns a list of ``(bin_start_ms, utilization)`` pairs covering the
+        window in steps of ``bin_ms``; this is the data behind the paper's
+        Fig. 9 GPU-utilization-over-time plots.
+        """
+        if bin_ms <= 0:
+            raise ValueError("bin_ms must be positive")
+        if end_ms <= start_ms:
+            return []
+        series: List[Tuple[float, float]] = []
+        t = start_ms
+        while t < end_ms:
+            hi = min(t + bin_ms, end_ms)
+            series.append((t, self.utilization(t, hi)))
+            t += bin_ms
+        return series
+
+    def span(self) -> Tuple[float, float]:
+        """(first start, last end) of the recorded intervals; (0, 0) if empty."""
+        if not self._intervals:
+            return (0.0, 0.0)
+        return (self._intervals[0].start_ms, self._intervals[-1].end_ms)
+
+    def idle_gaps(self, min_gap_ms: float = 0.0) -> List[Interval]:
+        """Idle gaps between consecutive busy intervals longer than ``min_gap_ms``.
+
+        Long idle gaps on the GPU while the CPU is busy are the signature of
+        the paper's workload-imbalance bottleneck.
+        """
+        gaps: List[Interval] = []
+        for prev, nxt in zip(self._intervals, self._intervals[1:]):
+            gap = nxt.start_ms - prev.end_ms
+            if gap > min_gap_ms:
+                gaps.append(Interval(prev.end_ms, nxt.start_ms, "idle"))
+        return gaps
+
+    def merged(self, other: "Timeline", name: str = "") -> "Timeline":
+        """Return a new timeline containing both resources' intervals, sorted.
+
+        The merged timeline may contain overlapping intervals; it is intended
+        only for reporting, not for further scheduling.
+        """
+        merged = Timeline(name or f"{self.name}+{other.name}")
+        merged._intervals = sorted(
+            list(self._intervals) + list(other._intervals),
+            key=lambda i: (i.start_ms, i.end_ms),
+        )
+        return merged

@@ -1,0 +1,152 @@
+"""Base classes shared by the eight profiled DGNN models.
+
+Every model in :mod:`repro.models` follows the same contract:
+
+* it is constructed against a :class:`~repro.hw.machine.Machine` and places
+  its weights on the machine's compute device (the GPU when present, the CPU
+  otherwise), mirroring how the reference implementations call
+  ``model.to(device)``;
+* :meth:`DGNNModel.warm_up` performs the GPU warm-up the paper measures in
+  Sec. 4.4 (context creation, weight upload, allocation warm-up for the
+  batch footprint);
+* :meth:`DGNNModel.iteration_batches` yields the units of work the paper
+  profiles ("one iteration": a mini-batch of events, one snapshot, one
+  t-batch, ... depending on the model);
+* :meth:`DGNNModel.inference_iteration` runs one such unit, annotating the
+  machine's region stack with the same module names the paper's breakdown
+  figures use, so the profiler can reproduce Fig. 7;
+* :meth:`DGNNModel.describe` returns the model's Table 1 row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.device import Device
+from ..hw.machine import Machine
+from ..nn.module import Module
+
+#: Table 1 column values.
+CONTINUOUS = "continuous"
+DISCRETE = "discrete"
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """One row of the paper's Table 1.
+
+    Attributes:
+        name: Model name as used in the paper.
+        category: ``"continuous"`` or ``"discrete"`` time.
+        evolving_node_features / evolving_edge_features / evolving_topology /
+        evolving_weights: Which parts of the graph/model change over time.
+        time_encoding: The model's time encoder ("RNN", "time embedding",
+            "self-attention", ...).
+        tasks: Example tasks the model is applied to.
+    """
+
+    name: str
+    category: str
+    evolving_node_features: bool
+    evolving_edge_features: bool
+    evolving_topology: bool
+    evolving_weights: bool
+    time_encoding: str
+    tasks: Tuple[str, ...]
+
+    def as_row(self) -> dict:
+        return {
+            "model": self.name,
+            "type": self.category,
+            "node_feature": self.evolving_node_features,
+            "edge_feature": self.evolving_edge_features,
+            "graph_topology": self.evolving_topology,
+            "weights": self.evolving_weights,
+            "time_encoding": self.time_encoding,
+            "tasks": ", ".join(self.tasks),
+        }
+
+
+class DGNNModel(Module):
+    """Common machinery for the profiled DGNNs."""
+
+    #: Model name; subclasses override.
+    name: str = "dgnn"
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__()
+        self.machine = machine
+
+    # -- devices -------------------------------------------------------------
+
+    @property
+    def compute_device(self) -> Device:
+        """Where model compute runs (GPU when present)."""
+        return self.machine.compute_device
+
+    @property
+    def host_device(self) -> Device:
+        """Where graph preprocessing runs (always the CPU)."""
+        return self.machine.host_device
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self.machine.has_gpu
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def warm_up(self, batch: Optional[Any] = None) -> None:
+        """Perform the GPU warm-up the paper attributes to model initialisation.
+
+        Creates the CUDA context, uploads the model weights, and performs the
+        allocation warm-up sized by the batch footprint (when a batch is
+        given).  A no-op on CPU-only machines.
+        """
+        if not self.machine.has_gpu:
+            return
+        self.machine.initialize_gpu(model_bytes=self.param_bytes())
+        footprint = self.batch_footprint_bytes(batch) if batch is not None else self.param_bytes()
+        self.machine.allocation_warmup(footprint)
+
+    # -- interface for subclasses ------------------------------------------------
+
+    def describe(self) -> ModelCard:
+        raise NotImplementedError
+
+    def iteration_batches(self, dataset: Any, **kwargs) -> Iterator[Any]:
+        """Yield the units of work ("iterations") the paper profiles."""
+        raise NotImplementedError
+
+    def inference_iteration(self, batch: Any) -> Any:
+        """Run one profiled iteration; must annotate machine regions."""
+        raise NotImplementedError
+
+    def batch_footprint_bytes(self, batch: Any) -> int:
+        """Approximate device-memory footprint of one iteration's working set."""
+        return self.param_bytes()
+
+    # -- convenience ---------------------------------------------------------------
+
+    def run_inference(
+        self, dataset: Any, max_iterations: Optional[int] = None, **kwargs
+    ) -> int:
+        """Run inference over a dataset without profiling; returns iteration count.
+
+        Useful for functional tests and examples that only care about the
+        numerics, not the profile.
+        """
+        count = 0
+        for batch in self.iteration_batches(dataset, **kwargs):
+            self.inference_iteration(batch)
+            count += 1
+            if max_iterations is not None and count >= max_iterations:
+                break
+        return count
+
+
+def nbytes_of(*arrays: np.ndarray) -> int:
+    """Total byte size of several numpy arrays (for footprint estimates)."""
+    return int(sum(np.asarray(a).nbytes for a in arrays))

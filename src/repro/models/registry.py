@@ -1,0 +1,96 @@
+"""Model registry: build any of the eight profiled DGNNs by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..datasets import load as load_dataset
+from ..hw.machine import Machine
+from .astgnn import ASTGNN, ASTGNNConfig
+from .base import DGNNModel
+from .dyrep import DyRep, DyRepConfig
+from .evolvegcn import EvolveGCN, EvolveGCNConfig
+from .jodie import JODIE, JODIEConfig
+from .ldg import LDG, LDGConfig
+from .moldgnn import MolDGNN, MolDGNNConfig
+from .tgat import TGAT, TGATConfig
+from .tgn import TGN, TGNConfig
+
+#: Default dataset for each model, matching what the paper profiles it on.
+DEFAULT_DATASETS: Dict[str, str] = {
+    "jodie": "wikipedia",
+    "tgn": "wikipedia",
+    "tgat": "wikipedia",
+    "evolvegcn": "bitcoin-alpha",
+    "evolvegcn-o": "bitcoin-alpha",
+    "evolvegcn-h": "bitcoin-alpha",
+    "astgnn": "pems",
+    "moldgnn": "iso17",
+    "dyrep": "social-evolution",
+    "ldg": "social-evolution",
+}
+
+MODEL_NAMES = (
+    "jodie",
+    "tgn",
+    "evolvegcn-o",
+    "evolvegcn-h",
+    "tgat",
+    "astgnn",
+    "dyrep",
+    "ldg",
+    "moldgnn",
+)
+
+
+def available_models() -> List[str]:
+    return list(MODEL_NAMES)
+
+
+def build_model(
+    name: str,
+    machine: Machine,
+    dataset=None,
+    dataset_name: Optional[str] = None,
+    scale: str = "small",
+    **config_overrides,
+) -> DGNNModel:
+    """Construct a model by name.
+
+    Args:
+        name: One of :func:`available_models` (plus the alias ``"evolvegcn"``
+            for the -O variant).
+        machine: Simulated machine the model will run on.
+        dataset: Pre-loaded dataset; when omitted, the paper's default dataset
+            for the model is loaded at ``scale``.
+        dataset_name: Dataset to load when ``dataset`` is omitted.
+        scale: Dataset scale when loading by name.
+        **config_overrides: Forwarded to the model's config dataclass.
+    """
+    key = name.lower()
+    if key == "evolvegcn":
+        key = "evolvegcn-o"
+    if key not in MODEL_NAMES:
+        raise KeyError(f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}")
+    if dataset is None:
+        dataset = load_dataset(dataset_name or DEFAULT_DATASETS[key], scale=scale)
+
+    if key == "jodie":
+        return JODIE(machine, dataset, JODIEConfig(**config_overrides))
+    if key == "tgn":
+        return TGN(machine, dataset, TGNConfig(**config_overrides))
+    if key == "tgat":
+        return TGAT(machine, dataset, TGATConfig(**config_overrides))
+    if key == "evolvegcn-o":
+        return EvolveGCN(machine, dataset, EvolveGCNConfig(variant="O", **config_overrides))
+    if key == "evolvegcn-h":
+        return EvolveGCN(machine, dataset, EvolveGCNConfig(variant="H", **config_overrides))
+    if key == "astgnn":
+        return ASTGNN(machine, dataset, ASTGNNConfig(**config_overrides))
+    if key == "moldgnn":
+        return MolDGNN(machine, dataset, MolDGNNConfig(**config_overrides))
+    if key == "dyrep":
+        return DyRep(machine, dataset, DyRepConfig(**config_overrides))
+    if key == "ldg":
+        return LDG(machine, dataset, LDGConfig(**config_overrides))
+    raise AssertionError("unreachable")

@@ -1,0 +1,145 @@
+"""Graph convolution layers.
+
+The discrete-time models in the paper (EvolveGCN, MolDGNN, ASTGNN) process
+each snapshot with graph convolutions; this module provides the symmetric-
+normalised GCN layer they build on, plus a variant whose weights are supplied
+externally (EvolveGCN's RNN evolves the GCN weights, so the layer must accept
+them per time step rather than owning them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw.device import Device
+from ..tensor import ops
+from ..tensor.tensor import Tensor, ensure_same_device
+from . import init
+from .module import Module
+
+
+def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetrically normalise an adjacency matrix: ``D^-1/2 (A + I) D^-1/2``.
+
+    Operates on plain numpy because the paper's models perform this step as
+    CPU-side preprocessing; the caller charges the cost separately.
+    """
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    a_hat = adjacency.astype(np.float32)
+    if add_self_loops:
+        a_hat = a_hat + np.eye(a_hat.shape[0], dtype=np.float32)
+    degrees = a_hat.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    return (a_hat * inv_sqrt[:, None]) * inv_sqrt[None, :]
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``sigma(A_hat X W)``.
+
+    Args:
+        in_features / out_features: Feature dimensions.
+        device: Device holding the weights.
+        rng: Seeded generator for initialisation.
+        activation: ``"relu"``, ``"tanh"`` or ``None`` for linear output.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+        activation: Optional[str] = "relu",
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.make_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform(
+            (in_features, out_features), device, rng, name="gcn.weight"
+        )
+        self.activation = activation
+
+    def forward(self, adjacency: Tensor, features: Tensor) -> Tensor:
+        """``adjacency`` is the normalised (N, N) matrix, ``features`` is (N, F)."""
+        return gcn_forward(adjacency, features, self.weight, self.activation)
+
+
+class WeightlessGCNLayer(Module):
+    """A GCN layer whose weight matrix is passed in at call time.
+
+    EvolveGCN's defining trick is that an RNN produces the GCN weights for
+    each snapshot; the layer itself therefore owns no parameters.
+    """
+
+    def __init__(self, activation: Optional[str] = "relu") -> None:
+        super().__init__()
+        self.activation = activation
+
+    def forward(self, adjacency: Tensor, features: Tensor, weight: Tensor) -> Tensor:
+        return gcn_forward(adjacency, features, weight, self.activation)
+
+
+def gcn_forward(
+    adjacency: Tensor,
+    features: Tensor,
+    weight: Tensor,
+    activation: Optional[str] = "relu",
+) -> Tensor:
+    """Shared GCN computation: aggregate with SpMM, transform, activate."""
+    ensure_same_device(adjacency, features, weight)
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be square")
+    if adjacency.shape[1] != features.shape[0]:
+        raise ValueError(
+            f"adjacency ({adjacency.shape}) and features ({features.shape}) disagree"
+        )
+    aggregated = ops.spmm(adjacency, features)
+    transformed = ops.matmul(aggregated, weight, name="gcn_transform")
+    if activation == "relu":
+        return ops.relu(transformed)
+    if activation == "tanh":
+        return ops.tanh(transformed)
+    if activation is None:
+        return transformed
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+class GraphConvEncoder(Module):
+    """A small stack of GCN layers (used by MolDGNN's per-snapshot encoder)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+        num_layers: int = 2,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        rng = rng if rng is not None else init.make_rng()
+        self.layers = []
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [out_features]
+        from .module import ModuleList
+
+        layers = ModuleList()
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            is_last = index == len(dims) - 2
+            layers.append(
+                GCNLayer(d_in, d_out, device, rng, activation=None if is_last else "relu")
+            )
+        self.layers = layers
+
+    def forward(self, adjacency: Tensor, features: Tensor) -> Tensor:
+        hidden = features
+        for layer in self.layers:
+            hidden = layer(adjacency, hidden)
+        return hidden

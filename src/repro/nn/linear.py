@@ -1,0 +1,111 @@
+"""Dense layers: Linear and MLP."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..hw.device import Device
+from ..tensor import ops
+from ..tensor.tensor import Tensor
+from . import init
+from .module import Module, Sequential
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Args:
+        in_features: Input feature dimension.
+        out_features: Output feature dimension.
+        device: Device holding the weights.
+        rng: Seeded generator for initialisation.
+        bias: Whether to include a bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng if rng is not None else init.make_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform(
+            (out_features, in_features), device, rng, name="linear.weight"
+        )
+        self.bias = init.zeros((out_features,), device, name="linear.bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        return ops.linear(x, self.weight, self.bias)
+
+
+class Activation(Module):
+    """Wraps a functional activation so it can live inside ``Sequential``."""
+
+    _FUNCTIONS: dict = {
+        "relu": ops.relu,
+        "tanh": ops.tanh,
+        "sigmoid": ops.sigmoid,
+        "leaky_relu": ops.leaky_relu,
+        "softplus": ops.softplus,
+    }
+
+    def __init__(self, name: str = "relu") -> None:
+        super().__init__()
+        if name not in self._FUNCTIONS:
+            raise ValueError(f"unknown activation {name!r}")
+        self.name = name
+        self._fn: Callable[[Tensor], Tensor] = self._FUNCTIONS[name]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    Args:
+        dims: Layer widths, e.g. ``(in, hidden, out)``.
+        device: Device holding the weights.
+        rng: Seeded generator for initialisation.
+        activation: Activation between layers (none after the last layer).
+        final_activation: Optional activation applied to the output.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+        final_activation: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        rng = rng if rng is not None else init.make_rng()
+        layers = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, device, rng))
+            is_last = index == len(dims) - 2
+            if not is_last:
+                layers.append(Activation(activation))
+            elif final_activation is not None:
+                layers.append(Activation(final_activation))
+        self.net = Sequential(*layers)
+        self.dims = tuple(dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,178 @@
+"""Module system for the NN substrate.
+
+A tiny PyTorch-like module hierarchy: parameters register themselves on
+attribute assignment, submodules nest, and :meth:`Module.to` moves every
+parameter to another device.  Parameter movement is *not* charged to the PCIe
+link -- in the paper, weight upload is part of the GPU warm-up (Sec. 4.4) and
+is accounted for explicitly via
+:meth:`repro.hw.machine.Machine.initialize_gpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.device import Device
+from ..tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable (here: fixed, inference-only) weight."""
+
+    __slots__ = ()
+
+
+class Module:
+    """Base class for all NN components.
+
+    Subclasses must call ``super().__init__()`` before assigning parameters or
+    submodules, then implement :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    # -- registration -------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        params: Dict[str, Parameter] = self.__dict__.get("_parameters")
+        modules: Dict[str, Module] = self.__dict__.get("_modules")
+        if params is None or modules is None:
+            raise RuntimeError(
+                "Module.__init__() must be called before assigning attributes"
+            )
+        if isinstance(value, Parameter):
+            params[name] = value
+            modules.pop(name, None)
+        elif isinstance(value, Module):
+            modules[name] = value
+            params.pop(name, None)
+        else:
+            params.pop(name, None)
+            modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # -- traversal ------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for this module and descendants."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including this module itself."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> List["Module"]:
+        return list(self._modules.values())
+
+    # -- statistics -----------------------------------------------------------
+
+    def param_count(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.numel for p in self.parameters())
+
+    def param_bytes(self) -> int:
+        """Total weight footprint in bytes (float32)."""
+        return sum(p.nbytes for p in self.parameters())
+
+    # -- device movement --------------------------------------------------------
+
+    def to(self, device: Device) -> "Module":
+        """Move every parameter to ``device`` (in place; returns self).
+
+        Weight movement is intentionally not charged to the interconnect; the
+        experiments account for weight upload inside the GPU warm-up phase.
+        """
+        for name, parameter in list(self._parameters.items()):
+            moved = Parameter(parameter.data, device, name=parameter.name)
+            self._parameters[name] = moved
+            object.__setattr__(self, name, moved)
+        for module in self._modules.values():
+            module.to(device)
+        return self
+
+    @property
+    def device(self) -> Optional[Device]:
+        """Device of the first parameter found, or ``None`` for stateless modules."""
+        for _, parameter in self.named_parameters():
+            return parameter.device
+        return None
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class ModuleList(Module):
+    """An indexable container of submodules."""
+
+    def __init__(self, modules: Optional[Sequence[Module]] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules:
+            index = len(self._items)
+            self._items.append(module)
+            self._modules[str(index)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x

@@ -1,0 +1,84 @@
+"""Normalisation and inference-time regularisation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw.device import Device
+from ..tensor import ops
+from ..tensor.tensor import Tensor
+from . import init
+from .module import Module
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last feature dimension."""
+
+    def __init__(self, features: int, device: Device, eps: float = 1e-5) -> None:
+        super().__init__()
+        if features <= 0:
+            raise ValueError("features must be positive")
+        self.features = features
+        self.eps = eps
+        self.weight = init.ones((features,), device, name="layernorm.weight")
+        self.bias = init.zeros((features,), device, name="layernorm.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.features:
+            raise ValueError(
+                f"LayerNorm expected last dim {self.features}, got {x.shape[-1]}"
+            )
+        return ops.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inference-mode dropout: an identity that still launches a cheap kernel.
+
+    The profiled models keep their dropout layers in the inference graph;
+    PyTorch's eval-mode dropout is not entirely free, and modelling it keeps
+    kernel counts comparable.
+    """
+
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout_mask_identity(x)
+
+
+class Embedding(Module):
+    """A lookup table of node/item embeddings.
+
+    Lookups use :func:`repro.tensor.ops.gather_rows`, which is charged with
+    the irregular-access penalty -- embedding gathers are one of the irregular
+    memory access patterns the paper attributes the sampling/workload
+    imbalance bottleneck to.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("embedding table dimensions must be positive")
+        rng = rng if rng is not None else init.make_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = init.normal(
+            (num_embeddings, embedding_dim), device, rng, std=0.1, name="embedding.weight"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return ops.gather_rows(self.weight, indices)

@@ -1,0 +1,178 @@
+"""Recurrent cells (GRU and LSTM).
+
+RNNs are the time encoders of JODIE, EvolveGCN, DyRep, LDG and MolDGNN.  In
+the paper, their step-by-step execution is the canonical temporal-data-
+dependency bottleneck: each step launches a handful of small GEMMs that must
+wait for the previous step, which keeps GPU utilization in the low single
+digits.  The cells here are implemented exactly that way -- one call per time
+step, a few small :func:`~repro.tensor.ops.linear` kernels per call -- so the
+simulated profiles exhibit the same behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..hw.device import Device
+from ..tensor import ops
+from ..tensor.tensor import Tensor
+from . import init
+from .linear import Linear
+from .module import Module
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step.
+
+    Computes the standard GRU update with reset gate ``r``, update gate ``z``
+    and candidate state ``n``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.make_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_gates = Linear(input_size, 3 * hidden_size, device, rng)
+        self.hidden_gates = Linear(hidden_size, 3 * hidden_size, device, rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is (batch, input_size), ``h`` is (batch, hidden_size)."""
+        if x.shape[-1] != self.input_size:
+            raise ValueError(f"GRUCell expected input dim {self.input_size}, got {x.shape[-1]}")
+        if h.shape[-1] != self.hidden_size:
+            raise ValueError(f"GRUCell expected hidden dim {self.hidden_size}, got {h.shape[-1]}")
+        gates_x = self.input_gates(x)
+        gates_h = self.hidden_gates(h)
+        hs = self.hidden_size
+        rx, zx, nx = _split3(gates_x, hs)
+        rh, zh, nh = _split3(gates_h, hs)
+        reset = ops.sigmoid(ops.add(rx, rh))
+        update = ops.sigmoid(ops.add(zx, zh))
+        candidate = ops.tanh(ops.add(nx, ops.mul(reset, nh)))
+        # h' = (1 - z) * n + z * h, written as n + z * (h - n).
+        return ops.add(candidate, ops.mul(update, ops.sub(h, candidate)))
+
+
+class LSTMCell(Module):
+    """A single long short-term memory step returning ``(h, c)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.make_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_gates = Linear(input_size, 4 * hidden_size, device, rng)
+        self.hidden_gates = Linear(hidden_size, 4 * hidden_size, device, rng)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        if x.shape[-1] != self.input_size:
+            raise ValueError(f"LSTMCell expected input dim {self.input_size}, got {x.shape[-1]}")
+        gates = ops.add(self.input_gates(x), self.hidden_gates(h))
+        hs = self.hidden_size
+        i_gate = ops.sigmoid(_slice_cols(gates, 0, hs))
+        f_gate = ops.sigmoid(_slice_cols(gates, hs, 2 * hs))
+        g_gate = ops.tanh(_slice_cols(gates, 2 * hs, 3 * hs))
+        o_gate = ops.sigmoid(_slice_cols(gates, 3 * hs, 4 * hs))
+        new_c = ops.add(ops.mul(f_gate, c), ops.mul(i_gate, g_gate))
+        new_h = ops.mul(o_gate, ops.tanh(new_c))
+        return new_h, new_c
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over a sequence, step by step.
+
+    Input is (time, batch, input_size); the steps are executed sequentially,
+    carrying the hidden state forward -- the temporal dependency the paper
+    profiles.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, device, rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor, h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Returns ``(outputs, final_hidden)`` with outputs of shape (T, B, H)."""
+        if sequence.ndim != 3:
+            raise ValueError("GRU expects a (time, batch, features) tensor")
+        steps, batch, _ = sequence.shape
+        h = h0 if h0 is not None else Tensor(
+            np.zeros((batch, self.hidden_size), dtype=np.float32), sequence.device
+        )
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            x_t = Tensor(sequence.data[t], sequence.device)
+            h = self.cell(x_t, h)
+            outputs.append(h)
+        return ops.stack(outputs, axis=0), h
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a sequence, step by step."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        device: Device,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, device, rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, sequence: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Returns ``(outputs, (h, c))`` with outputs of shape (T, B, H)."""
+        if sequence.ndim != 3:
+            raise ValueError("LSTM expects a (time, batch, features) tensor")
+        steps, batch, _ = sequence.shape
+        if state is None:
+            zeros = np.zeros((batch, self.hidden_size), dtype=np.float32)
+            state = (
+                Tensor(zeros, sequence.device),
+                Tensor(zeros.copy(), sequence.device),
+            )
+        h, c = state
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            x_t = Tensor(sequence.data[t], sequence.device)
+            h, c = self.cell(x_t, (h, c))
+            outputs.append(h)
+        return ops.stack(outputs, axis=0), (h, c)
+
+
+def _split3(tensor: Tensor, width: int) -> Tuple[Tensor, Tensor, Tensor]:
+    return (
+        _slice_cols(tensor, 0, width),
+        _slice_cols(tensor, width, 2 * width),
+        _slice_cols(tensor, 2 * width, 3 * width),
+    )
+
+
+def _slice_cols(tensor: Tensor, start: int, stop: int) -> Tensor:
+    """Column slice without a kernel (views are free, as in PyTorch)."""
+    return Tensor(tensor.data[..., start:stop], tensor.device)

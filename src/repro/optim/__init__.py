@@ -1,0 +1,29 @@
+"""Implementations and analytic estimators for the paper's Sec. 5 optimization
+proposals: cross-time-step pipelining, sampling/compute overlap and delta
+snapshot transfer."""
+
+from .delta_transfer import (
+    DeltaTransferComparison,
+    compare_delta_transfer,
+    estimate_transfer_savings,
+)
+from .overlap import DEFAULT_HOST_LABELS, OverlapEstimate, estimate_overlap_speedup
+from .pipelining import (
+    PipelineEstimate,
+    PipelinedEvolveGCN,
+    estimate_pipeline_speedup,
+    run_sequential_window,
+)
+
+__all__ = [
+    "DEFAULT_HOST_LABELS",
+    "DeltaTransferComparison",
+    "OverlapEstimate",
+    "PipelineEstimate",
+    "PipelinedEvolveGCN",
+    "compare_delta_transfer",
+    "estimate_overlap_speedup",
+    "estimate_pipeline_speedup",
+    "estimate_transfer_savings",
+    "run_sequential_window",
+]

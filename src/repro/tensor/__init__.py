@@ -1,0 +1,18 @@
+"""Numpy-backed, device-placed tensor substrate.
+
+This package replaces PyTorch for the purposes of this reproduction: tensors
+carry a device, operators compute real values and charge simulated hardware
+costs, and cross-device copies occupy the simulated PCIe link.
+"""
+
+from . import costs, ops
+from .tensor import DeviceMismatchError, Tensor, as_tensor, ensure_same_device
+
+__all__ = [
+    "DeviceMismatchError",
+    "Tensor",
+    "as_tensor",
+    "costs",
+    "ensure_same_device",
+    "ops",
+]

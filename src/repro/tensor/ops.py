@@ -1,0 +1,325 @@
+"""Tensor operators.
+
+Every operator computes its result with numpy and, when a
+:class:`~repro.hw.machine.Machine` is active, records a kernel on the
+operands' device with a (flops, bytes) estimate from
+:mod:`repro.tensor.costs`.  Operators therefore behave like the PyTorch ops
+the paper profiles: real numerics plus a hardware cost that the profiler can
+attribute to modules and regions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hw.device import Device
+from ..hw.machine import current_machine, has_active_machine
+from . import costs
+from .tensor import Tensor, ensure_same_device
+
+Scalar = Union[int, float]
+
+
+def _record(device: Device, name: str, flops: float, bytes_moved: float) -> None:
+    """Charge one kernel to the active machine (no-op without a machine)."""
+    if has_active_machine():
+        current_machine().launch_kernel(device, name, flops, bytes_moved)
+
+
+def _binary_operands(a: Tensor, b: Union[Tensor, Scalar]) -> Tuple[Tensor, Tensor, Device]:
+    if isinstance(b, Tensor):
+        device = ensure_same_device(a, b)
+        return a, b, device
+    return a, Tensor(np.asarray(b, dtype=np.float32), a.device), a.device
+
+
+# -- dense linear algebra ----------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor, name: str = "gemm") -> Tensor:
+    """Dense matrix product, supporting batched operands like ``np.matmul``."""
+    device = ensure_same_device(a, b)
+    result = np.matmul(a.data, b.data)
+    if a.ndim >= 2 and b.ndim >= 2:
+        m, k = a.shape[-2], a.shape[-1]
+        n = b.shape[-1]
+        batch = int(np.prod(result.shape[:-2])) if result.ndim > 2 else 1
+        flops, traffic = costs.batched_matmul_cost(batch, m, k, n)
+    else:
+        flops, traffic = costs.matmul_cost(1, a.shape[-1], 1)
+    _record(device, name, flops, traffic)
+    return Tensor(result, device)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` as one fused kernel."""
+    device = ensure_same_device(x, weight) if bias is None else ensure_same_device(x, weight, bias)
+    result = x.data @ weight.data.T
+    if bias is not None:
+        result = result + bias.data
+    rows = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
+    flops, traffic = costs.matmul_cost(rows, x.shape[-1], weight.shape[0])
+    if bias is not None:
+        flops += result.size
+    _record(device, "linear", flops, traffic)
+    return Tensor(result, device)
+
+
+def outer(a: Tensor, b: Tensor) -> Tensor:
+    """Outer product of two vectors."""
+    device = ensure_same_device(a, b)
+    result = np.outer(a.data, b.data)
+    flops, traffic = costs.matmul_cost(a.numel, 1, b.numel)
+    _record(device, "outer", flops, traffic)
+    return Tensor(result, device)
+
+
+# -- elementwise --------------------------------------------------------------
+
+
+def _elementwise(
+    name: str,
+    fn,
+    a: Tensor,
+    b: Union[Tensor, Scalar, None] = None,
+    flops_per_element: float = 1.0,
+) -> Tensor:
+    if b is None:
+        result = fn(a.data)
+        device = a.device
+        n_inputs = 1
+    else:
+        a, b_t, device = _binary_operands(a, b)
+        result = fn(a.data, b_t.data)
+        n_inputs = 2
+    flops, traffic = costs.elementwise_cost(result.shape, n_inputs, flops_per_element)
+    _record(device, name, flops, traffic)
+    return Tensor(result, device)
+
+
+def add(a: Tensor, b: Union[Tensor, Scalar]) -> Tensor:
+    return _elementwise("add", np.add, a, b)
+
+
+def sub(a: Tensor, b: Union[Tensor, Scalar]) -> Tensor:
+    return _elementwise("sub", np.subtract, a, b)
+
+
+def mul(a: Tensor, b: Union[Tensor, Scalar]) -> Tensor:
+    return _elementwise("mul", np.multiply, a, b)
+
+
+def div(a: Tensor, b: Union[Tensor, Scalar]) -> Tensor:
+    return _elementwise("div", np.divide, a, b)
+
+
+def relu(x: Tensor) -> Tensor:
+    return _elementwise("relu", lambda v: np.maximum(v, 0.0), x)
+
+
+def _stable_sigmoid(values: np.ndarray) -> np.ndarray:
+    positive = values >= 0
+    out = np.empty_like(values, dtype=np.float32)
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_v = np.exp(values[~positive])
+    out[~positive] = exp_v / (1.0 + exp_v)
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return _elementwise("sigmoid", _stable_sigmoid, x, flops_per_element=4.0)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return _elementwise("tanh", np.tanh, x, flops_per_element=4.0)
+
+
+def exp(x: Tensor) -> Tensor:
+    return _elementwise("exp", np.exp, x, flops_per_element=2.0)
+
+
+def log(x: Tensor) -> Tensor:
+    return _elementwise("log", np.log, x, flops_per_element=2.0)
+
+
+def cos(x: Tensor) -> Tensor:
+    return _elementwise("cos", np.cos, x, flops_per_element=2.0)
+
+
+def sin(x: Tensor) -> Tensor:
+    return _elementwise("sin", np.sin, x, flops_per_element=2.0)
+
+
+def softplus(x: Tensor) -> Tensor:
+    return _elementwise(
+        "softplus", lambda v: np.log1p(np.exp(-np.abs(v))) + np.maximum(v, 0.0), x,
+        flops_per_element=5.0,
+    )
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    return _elementwise("leaky_relu", lambda v: np.where(v > 0, v, slope * v), x)
+
+
+# -- reductions / normalisation -----------------------------------------------
+
+
+def reduce_sum(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    result = np.sum(x.data, axis=axis, keepdims=keepdims)
+    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
+    _record(x.device, "reduce_sum", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def reduce_mean(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    result = np.mean(x.data, axis=axis, keepdims=keepdims)
+    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
+    _record(x.device, "reduce_mean", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def reduce_max(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    result = np.max(x.data, axis=axis, keepdims=keepdims)
+    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
+    _record(x.device, "reduce_max", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    result = exps / np.sum(exps, axis=axis, keepdims=True)
+    flops, traffic = costs.softmax_cost(x.shape)
+    _record(x.device, "softmax", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension as one fused kernel."""
+    device = ensure_same_device(x, weight, bias)
+    mean = np.mean(x.data, axis=-1, keepdims=True)
+    var = np.var(x.data, axis=-1, keepdims=True)
+    result = (x.data - mean) / np.sqrt(var + eps) * weight.data + bias.data
+    flops, traffic = costs.elementwise_cost(x.shape, n_inputs=3, flops_per_element=8.0)
+    _record(device, "layer_norm", flops, traffic)
+    return Tensor(result, device)
+
+
+# -- shape manipulation --------------------------------------------------------
+
+
+def reshape(x: Tensor, shape: Sequence[int]) -> Tensor:
+    """Reshape without data movement (free in the cost model)."""
+    return Tensor(x.data.reshape(shape), x.device)
+
+
+def transpose(x: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    result = np.transpose(x.data, axes)
+    flops, traffic = costs.copy_cost(x.shape)
+    _record(x.device, "transpose", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    device = ensure_same_device(*tensors)
+    result = np.concatenate([t.data for t in tensors], axis=axis)
+    flops, traffic = costs.copy_cost(result.shape)
+    _record(device, "concat", flops, traffic)
+    return Tensor(result, device)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    if not tensors:
+        raise ValueError("stack requires at least one tensor")
+    device = ensure_same_device(*tensors)
+    result = np.stack([t.data for t in tensors], axis=axis)
+    flops, traffic = costs.copy_cost(result.shape)
+    _record(device, "stack", flops, traffic)
+    return Tensor(result, device)
+
+
+def expand_dims(x: Tensor, axis: int) -> Tensor:
+    return Tensor(np.expand_dims(x.data, axis), x.device)
+
+
+def squeeze(x: Tensor, axis: Optional[int] = None) -> Tensor:
+    return Tensor(np.squeeze(x.data, axis=axis), x.device)
+
+
+# -- indexing -------------------------------------------------------------------
+
+
+def gather_rows(x: Tensor, indices: Union[Tensor, np.ndarray, Sequence[int]]) -> Tensor:
+    """Select rows of ``x`` by index (embedding lookup / neighbour gather).
+
+    Charged with the irregular-access penalty: embedding and neighbour
+    gathers are the memory-unfriendly accesses the paper singles out.
+    """
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    idx = idx.astype(np.int64)
+    result = x.data[idx]
+    flops, traffic = costs.gather_cost(result.shape)
+    _record(x.device, "gather", flops, traffic)
+    return Tensor(result, x.device)
+
+
+def scatter_rows(
+    x: Tensor, indices: Union[Tensor, np.ndarray, Sequence[int]], updates: Tensor
+) -> Tensor:
+    """Write ``updates`` into the rows of ``x`` selected by ``indices``.
+
+    Returns a new tensor; ``x`` is not modified in place.
+    """
+    device = ensure_same_device(x, updates)
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    idx = idx.astype(np.int64)
+    result = np.array(x.data, copy=True)
+    result[idx] = updates.data
+    flops, traffic = costs.scatter_cost(updates.shape)
+    _record(device, "scatter", flops, traffic)
+    return Tensor(result, device)
+
+
+def where(condition: Tensor, a: Tensor, b: Tensor) -> Tensor:
+    device = ensure_same_device(condition, a, b)
+    result = np.where(condition.data, a.data, b.data)
+    flops, traffic = costs.elementwise_cost(result.shape, n_inputs=3)
+    _record(device, "where", flops, traffic)
+    return Tensor(result, device)
+
+
+# -- sparse-ish graph ops --------------------------------------------------------
+
+
+def spmm(adjacency: Tensor, x: Tensor, nnz: Optional[int] = None) -> Tensor:
+    """Multiply a (dense-stored) adjacency matrix with node features.
+
+    The numerics use a dense matmul, but the cost is charged as a sparse
+    matrix product with ``nnz`` non-zeros (defaulting to the actual count of
+    non-zero entries), matching how GNN message passing behaves on hardware.
+    """
+    device = ensure_same_device(adjacency, x)
+    result = adjacency.data @ x.data
+    non_zeros = int(np.count_nonzero(adjacency.data)) if nnz is None else int(nnz)
+    feature_dim = x.shape[-1]
+    flops = 2.0 * non_zeros * feature_dim
+    traffic = costs.ITEMSIZE * (
+        non_zeros * 2 + non_zeros * feature_dim + result.size
+    ) * 2.0
+    _record(device, "spmm", flops, traffic)
+    return Tensor(result, device)
+
+
+def dropout_mask_identity(x: Tensor) -> Tensor:
+    """Inference-time dropout: identity, but charged one elementwise pass.
+
+    Several of the profiled models keep dropout layers in their inference
+    graphs; PyTorch still launches a (cheap) kernel for them in eval mode.
+    """
+    flops, traffic = costs.elementwise_cost(x.shape, n_inputs=1)
+    _record(x.device, "dropout_eval", flops, traffic)
+    return Tensor(x.data, x.device)
