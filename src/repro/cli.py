@@ -18,6 +18,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
 from typing import Any, Dict, List, Optional
@@ -75,7 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--dataset", default=None, help="dataset name (model default if omitted)")
     prof.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     prof.add_argument("--device", default="gpu", choices=("cpu", "gpu"))
-    prof.add_argument("--iterations", type=int, default=1)
+    prof.add_argument("--iterations", type=int, default=1,
+                      help="number of inference iterations to profile")
+    prof.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=False,
+        help="execute iterations with the stream-based sampling/compute "
+             "overlap scheduler instead of the serialized baseline "
+             "(requires a model implementing the overlap protocol, e.g. tgat)",
+    )
     prof.add_argument(
         "--param", action="append", default=[],
         help="model config override, e.g. --param batch_size=256 (repeatable)",
@@ -112,6 +120,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _take_batches(model, count: int) -> List[Any]:
+    """The first ``count`` iteration batches of a model."""
+    return list(itertools.islice(model.iteration_batches(), count))
+
+
+def _print_profile_summary(profile, title: str) -> None:
+    breakdown = compute_breakdown(profile)
+    print(breakdown.format_table(title=title))
+    print(f"GPU utilization: {profile.gpu_utilization() * 100:.2f}%   "
+          f"peak GPU memory: {profile.peak_memory_mb('gpu'):.1f} MB")
+    print()
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
     machine = Machine.cpu_gpu() if args.device == "gpu" else Machine.cpu_only()
@@ -119,22 +140,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         dataset = load(args.dataset, scale=args.scale) if args.dataset else None
         model = build_model(args.model, machine, dataset=dataset, scale=args.scale, **overrides)
         profiler = Profiler(machine)
-        batches = model.iteration_batches()
-        for index, batch in enumerate(batches):
-            if index >= args.iterations:
-                break
+        if args.overlap:
+            return _profile_overlapped(args, machine, model, profiler)
+        for index, batch in enumerate(_take_batches(model, args.iterations)):
             if index == 0:
                 model.warm_up(batch)
             with profiler.capture(f"{args.model}-iter{index}"):
                 model.inference_iteration(batch)
     for profile in profiler.profiles:
-        breakdown = compute_breakdown(profile)
-        print(breakdown.format_table(title=f"{profile.label} ({args.device})"))
-        print(f"GPU utilization: {profile.gpu_utilization() * 100:.2f}%   "
-              f"peak GPU memory: {profile.peak_memory_mb('gpu'):.1f} MB")
-        print()
+        _print_profile_summary(profile, f"{profile.label} ({args.device})")
     report = analyze_profile(profiler.profiles[-1])
     print(report.format_table())
+    return 0
+
+
+def _profile_overlapped(args, machine, model, profiler) -> int:
+    """Profile ``--iterations`` batches through the overlap scheduler."""
+    from .optim import OverlappedRunner
+
+    try:
+        runner = OverlappedRunner(model)
+    except TypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    batches = _take_batches(model, args.iterations)
+    if not batches:
+        print("error: the model yielded no batches", file=sys.stderr)
+        return 2
+    model.warm_up(batches[0])
+    # Prime the prefetch stream so the capture reflects steady state, then
+    # leave the trailing synchronisation to the scheduler's own stream syncs.
+    runner.prefetch(batches[0])
+    with profiler.capture(f"{args.model}-overlapped", synchronize=False):
+        result = runner.run(batches)
+    profile = profiler.last_profile
+    _print_profile_summary(
+        profile, f"{profile.label} ({args.device}, {len(batches)} iterations)"
+    )
+    print("per-iteration host time (ms): "
+          + "  ".join(f"{t:.3f}" for t in result.iteration_ms))
+    print(f"steady-state iteration: {result.steady_state_ms():.3f} ms")
+    for snapshot in profile.stream_snapshots("cpu"):
+        if snapshot.name != "default":
+            print(f"prefetch stream '{snapshot.name}': busy {snapshot.busy_ms:.3f} ms "
+                  f"({snapshot.occupancy * 100:.1f}% of window)")
     return 0
 
 

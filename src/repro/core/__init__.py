@@ -38,7 +38,7 @@ from .breakdown import (
     merge_breakdowns,
 )
 from .comparison import LatencyMeasurement, SpeedupRow, SpeedupTable
-from .profiler import DeviceSnapshot, Profile, Profiler
+from .profiler import DeviceSnapshot, Profile, Profiler, StreamSnapshot
 from .utilization import (
     UtilizationPoint,
     UtilizationReport,
@@ -63,6 +63,7 @@ __all__ = [
     "OTHER",
     "Profile",
     "Profiler",
+    "StreamSnapshot",
     "SpeedupRow",
     "SpeedupTable",
     "TEMPORAL_DEPENDENCY",

@@ -122,6 +122,7 @@ def compute_breakdown(
     include_warmup: bool = False,
     merge_below_fraction: float = 0.0,
     fold_transfers: bool = False,
+    stream: Optional[str] = None,
 ) -> Breakdown:
     """Aggregate a profile into a per-module breakdown.
 
@@ -136,11 +137,16 @@ def compute_breakdown(
             region instead of the separate "Memory Copy" row (used for models
             whose published breakdown folds transfers into the module that
             triggered them, e.g. TGN's message passing).
+        stream: Restrict the breakdown to events issued on one named
+            execution stream (any resource), attributing module time per
+            queue of an overlapped schedule.  ``None`` aggregates everything.
     """
     times: Dict[str, float] = {}
     counts: Dict[str, int] = {}
     order: List[str] = []
     for event in profile.events:
+        if stream is not None and event.stream != stream:
+            continue
         label = _classify(event, region_depth, fold_transfers=fold_transfers)
         if label is None:
             continue

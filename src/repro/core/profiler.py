@@ -20,8 +20,37 @@ from ..hw.machine import Machine
 
 
 @dataclass(frozen=True)
+class StreamSnapshot:
+    """Per-stream statistics captured over one profiling window.
+
+    ``idle_ms`` is the window time during which the stream had no queued
+    work; for the seed's single default stream it is the familiar
+    GPU-starvation signature, for named streams it shows how well an
+    overlapped schedule keeps each queue fed.
+    """
+
+    resource: str
+    name: str
+    busy_ms: float
+    idle_ms: float
+    kernel_count: int
+    transfer_count: int
+
+    @property
+    def occupancy(self) -> float:
+        """Busy fraction of the window for this stream."""
+        total = self.busy_ms + self.idle_ms
+        return self.busy_ms / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
 class DeviceSnapshot:
-    """Per-device statistics captured over one profiling window."""
+    """Per-device statistics captured over one profiling window.
+
+    ``busy_ms`` is the *union* busy time across the device's streams
+    (concurrent work on two streams counts once); ``streams`` holds the
+    per-stream split.
+    """
 
     name: str
     kind: str
@@ -32,6 +61,13 @@ class DeviceSnapshot:
     peak_memory_bytes: int
     start_memory_bytes: int
     end_memory_bytes: int
+    streams: Tuple[StreamSnapshot, ...] = ()
+
+    def stream(self, name: str) -> Optional[StreamSnapshot]:
+        for snapshot in self.streams:
+            if snapshot.name == name:
+                return snapshot
+        return None
 
 
 @dataclass(frozen=True)
@@ -52,6 +88,7 @@ class Profile:
     devices: Tuple[DeviceSnapshot, ...]
     link_name: str
     label: str = ""
+    link_streams: Tuple[StreamSnapshot, ...] = ()
 
     # -- basic views ---------------------------------------------------------
 
@@ -85,6 +122,30 @@ class Profile:
             if snapshot.name == name_or_kind or snapshot.kind == name_or_kind:
                 return snapshot
         return None
+
+    # -- per-stream views -----------------------------------------------------
+
+    def stream_snapshots(self, name_or_kind: str) -> Tuple[StreamSnapshot, ...]:
+        """Per-stream statistics of one device (or the link by its name)."""
+        snapshot = self.device(name_or_kind)
+        if snapshot is not None:
+            return snapshot.streams
+        if name_or_kind == self.link_name:
+            return self.link_streams
+        return ()
+
+    def stream_busy_ms(self, name_or_kind: str, stream: str) -> float:
+        """Busy time of one stream of one device/link over the window."""
+        for snapshot in self.stream_snapshots(name_or_kind):
+            if snapshot.name == stream:
+                return snapshot.busy_ms
+        return 0.0
+
+    def events_on_stream(self, resource: str, stream: str) -> Tuple[Event, ...]:
+        """Events the window issued onto one stream of one resource."""
+        return tuple(
+            e for e in self.events if e.resource == resource and e.stream == stream
+        )
 
     # -- headline statistics ----------------------------------------------------
 
@@ -216,7 +277,14 @@ class Profiler:
         start_ms = machine.host_time_ms
         start_memory = {d.name: d.memory.current_bytes for d in machine.devices}
         start_busy = {d.name: d.busy_ms() for d in machine.devices}
-        start_flops = self._device_flops(machine, upto=start_cursor)
+        start_stream_busy = {
+            d.name: d.per_stream_busy_ms() for d in machine.devices
+        }
+        start_link_busy = machine.link.per_stream_busy_ms()
+        # O(1) snapshot of the machine's running per-device FLOP counters
+        # (the profiler used to rescan the whole event log here, which made
+        # repeated captures O(n^2) across a run).
+        start_flops = machine.device_flops_totals()
         try:
             yield self
         finally:
@@ -226,7 +294,7 @@ class Profiler:
             events = tuple(machine.events.since(start_cursor))
             devices = []
             for device in machine.devices:
-                flops = self._device_flops(machine) .get(device.name, 0.0) - start_flops.get(
+                flops = machine.device_flops(device.name) - start_flops.get(
                     device.name, 0.0
                 )
                 devices.append(
@@ -244,6 +312,14 @@ class Profiler:
                         peak_memory_bytes=device.memory.peak_bytes,
                         start_memory_bytes=start_memory[device.name],
                         end_memory_bytes=device.memory.current_bytes,
+                        streams=self._stream_snapshots(
+                            device.name,
+                            device.per_stream_busy_ms(),
+                            start_stream_busy[device.name],
+                            start_ms,
+                            end_ms,
+                            events,
+                        ),
                     )
                 )
             self.profiles.append(
@@ -254,14 +330,47 @@ class Profiler:
                     devices=tuple(devices),
                     link_name=machine.link.name,
                     label=label,
+                    link_streams=self._stream_snapshots(
+                        machine.link.name,
+                        machine.link.per_stream_busy_ms(),
+                        start_link_busy,
+                        start_ms,
+                        end_ms,
+                        events,
+                    ),
                 )
             )
 
     @staticmethod
-    def _device_flops(machine: Machine, upto: Optional[int] = None) -> Dict[str, float]:
-        totals: Dict[str, float] = {}
-        events = machine.events.snapshot() if upto is None else machine.events.snapshot()[:upto]
-        for event in events:
-            if event.kind == KERNEL:
-                totals[event.resource] = totals.get(event.resource, 0.0) + event.flops
-        return totals
+    def _stream_snapshots(
+        resource: str,
+        end_busy: Dict[str, float],
+        start_busy: Dict[str, float],
+        start_ms: float,
+        end_ms: float,
+        events: Tuple[Event, ...],
+    ) -> Tuple[StreamSnapshot, ...]:
+        """Per-stream busy/idle deltas for one resource over the window."""
+        window = max(0.0, end_ms - start_ms)
+        snapshots = []
+        for name, busy in end_busy.items():
+            busy_delta = busy - start_busy.get(name, 0.0)
+            snapshots.append(
+                StreamSnapshot(
+                    resource=resource,
+                    name=name,
+                    busy_ms=busy_delta,
+                    idle_ms=max(0.0, window - busy_delta),
+                    kernel_count=sum(
+                        1
+                        for e in events
+                        if e.kind == KERNEL and e.resource == resource and e.stream == name
+                    ),
+                    transfer_count=sum(
+                        1
+                        for e in events
+                        if e.kind == TRANSFER and e.resource == resource and e.stream == name
+                    ),
+                )
+            )
+        return tuple(snapshots)

@@ -53,7 +53,15 @@ def _busy_intervals(
             if event.duration_ms > 0:
                 intervals.append((event.start_ms, event.end_ms))
     intervals.sort()
-    return intervals
+    # Merge overlaps so kernels running concurrently on different streams
+    # count once; utilization must stay <= 1 for overlapped schedules.
+    merged: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
 
 
 def _clip_overlap(intervals, lo: float, hi: float) -> float:

@@ -3,7 +3,7 @@ evaluation, plus the ablations for the Sec. 5 optimization proposals."""
 
 from typing import Callable, Dict, List
 
-from . import ablations, fig6, fig7, fig8, fig9, table1, table2, warmup_onetime
+from . import ablations, fig6, fig7, fig8, fig9, overlap_exec, table1, table2, warmup_onetime
 from .runner import (
     ExperimentResult,
     measure_iteration_latency,
@@ -23,6 +23,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig9.run,
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
+    "overlap_exec": overlap_exec.run,
 }
 
 
@@ -49,6 +50,7 @@ __all__ = [
     "fig9",
     "measure_iteration_latency",
     "new_machine",
+    "overlap_exec",
     "profile_iterations",
     "profile_single_iteration",
     "run_experiment",

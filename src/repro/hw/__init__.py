@@ -9,10 +9,18 @@ paper obtains from PyTorch Profiler and Nsight Systems.
 """
 
 from .device import Device, KernelCost
-from .events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event, EventLog
+from .events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP, Event, EventLog
 from .link import Link
 from .machine import Machine, NoActiveMachineError, current_machine, has_active_machine
 from .memory import Allocation, MemoryPool, OutOfMemoryError
+from .stream import (
+    COPY_STREAM,
+    DEFAULT_STREAM,
+    Stream,
+    StreamEvent,
+    StreamSet,
+    union_busy_ms,
+)
 from .spec import (
     DEFAULT_WARMUP,
     PCIE_GEN4,
@@ -26,8 +34,11 @@ from .timeline import Interval, Timeline
 
 __all__ = [
     "ALLOC",
+    "COPY_STREAM",
+    "DEFAULT_STREAM",
     "FREE",
     "KERNEL",
+    "MARKER",
     "SYNC",
     "TRANSFER",
     "WARMUP",
@@ -47,9 +58,13 @@ __all__ = [
     "OutOfMemoryError",
     "PCIE_GEN4",
     "RTX_A6000",
+    "Stream",
+    "StreamEvent",
+    "StreamSet",
     "Timeline",
     "WarmupSpec",
     "XEON_6226R",
     "current_machine",
     "has_active_machine",
+    "union_busy_ms",
 ]

@@ -9,10 +9,11 @@ device computes kernel durations from its roofline cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .memory import MemoryPool
 from .spec import DeviceSpec
+from .stream import Stream, StreamSet
 from .timeline import Interval, Timeline
 
 
@@ -44,7 +45,7 @@ class Device:
 
     def __init__(self, spec: DeviceSpec, strict_memory: bool = False) -> None:
         self.spec = spec
-        self.timeline = Timeline(spec.name)
+        self.streams = StreamSet(spec.name)
         self.memory = MemoryPool(
             spec.name, int(spec.memory_capacity_mb * 1e6), strict=strict_memory
         )
@@ -101,20 +102,54 @@ class Device:
             duration_ms=launch_ms + body_ms,
         )
 
-    # -- scheduling -----------------------------------------------------
+    # -- streams / scheduling -------------------------------------------
 
-    def schedule(self, ready_ms: float, duration_ms: float, label: str) -> Interval:
-        """Place a busy interval on the device timeline."""
-        return self.timeline.reserve(ready_ms, duration_ms, label)
+    @property
+    def default_stream(self) -> Stream:
+        return self.streams.default
+
+    def stream(self, name: str) -> Stream:
+        """Look up (creating on first use) a named execution stream."""
+        return self.streams.stream(name)
+
+    @property
+    def timeline(self) -> Timeline:
+        """The default stream's timeline (the seed's single device queue)."""
+        return self.streams.default.timeline
+
+    def schedule(
+        self,
+        ready_ms: float,
+        duration_ms: float,
+        label: str,
+        stream: Optional[Stream] = None,
+    ) -> Interval:
+        """Queue a busy interval on ``stream`` (the default stream if omitted)."""
+        target = stream if stream is not None else self.streams.default
+        if target.resource != self.name:
+            raise ValueError(
+                f"stream {target.name!r} belongs to {target.resource!r}, "
+                f"not to device {self.name!r}"
+            )
+        return target.reserve(ready_ms, duration_ms, label)
 
     @property
     def free_at(self) -> float:
-        return self.timeline.free_at
+        """Time at which all of the device's streams have drained."""
+        return self.streams.free_at
 
     # -- statistics -----------------------------------------------------
 
     def busy_ms(self, start_ms: Optional[float] = None, end_ms: Optional[float] = None) -> float:
-        return self.timeline.busy_ms(start_ms, end_ms)
+        """Union busy time across all streams (concurrent work counts once)."""
+        return self.streams.busy_ms(start_ms, end_ms)
+
+    def per_stream_busy_ms(
+        self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
+    ) -> Dict[str, float]:
+        return self.streams.per_stream_busy_ms(start_ms, end_ms)
 
     def utilization(self, start_ms: float, end_ms: float) -> float:
-        return self.timeline.utilization(start_ms, end_ms)
+        if end_ms <= start_ms:
+            return 0.0
+        return self.busy_ms(start_ms, end_ms) / (end_ms - start_ms)

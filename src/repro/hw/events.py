@@ -19,8 +19,12 @@ WARMUP = "warmup"
 ALLOC = "alloc"
 FREE = "free"
 SYNC = "sync"
+#: Zero-duration stream markers (event record / event wait); ignored by the
+#: breakdown aggregation but kept in the log so traces show cross-stream
+#: dependencies.
+MARKER = "marker"
 
-_VALID_KINDS = frozenset({KERNEL, TRANSFER, WARMUP, ALLOC, FREE, SYNC})
+_VALID_KINDS = frozenset({KERNEL, TRANSFER, WARMUP, ALLOC, FREE, SYNC, MARKER})
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,8 @@ class Event:
         region: The region-annotation stack active when the event was issued,
             outermost first (e.g. ``("iteration", "Sampling")``).
         src / dst: For transfers, source and destination device names.
+        stream: Name of the execution stream the event was issued on (empty
+            for events that do not occupy a stream, e.g. alloc/free).
     """
 
     kind: str
@@ -50,6 +56,7 @@ class Event:
     region: Tuple[str, ...] = ()
     src: str = ""
     dst: str = ""
+    stream: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
@@ -129,6 +136,12 @@ class EventLog:
 
     def on_resource(self, resource: str) -> Sequence[Event]:
         return tuple(e for e in self._events if e.resource == resource)
+
+    def on_stream(self, resource: str, stream: str) -> Sequence[Event]:
+        """Events issued on one stream of one resource."""
+        return tuple(
+            e for e in self._events if e.resource == resource and e.stream == stream
+        )
 
     def total_time_ms(self, kind: str | None = None) -> float:
         """Sum of event durations, optionally restricted to one kind."""

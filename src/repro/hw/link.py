@@ -11,16 +11,25 @@ bandwidth, and keeps its own busy timeline so the profiler can attribute
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from .spec import LinkSpec
+from .stream import Stream, StreamSet
 from .timeline import Interval, Timeline
 
 
 class Link:
-    """A bidirectional host<->device link with a shared busy timeline."""
+    """A bidirectional host<->device link.
+
+    The link owns a set of transfer streams.  Blocking copies serialize on the
+    ``"default"`` stream (the seed's single shared link queue); non-blocking
+    copies go through the machine's dedicated copy stream, modelling the
+    separate DMA engine that pinned-memory transfers use on real hardware.
+    """
 
     def __init__(self, spec: LinkSpec) -> None:
         self.spec = spec
-        self.timeline = Timeline(spec.name)
+        self.streams = StreamSet(spec.name)
         self._bytes_h2d = 0
         self._bytes_d2h = 0
         self._transfers = 0
@@ -30,26 +39,54 @@ class Link:
         return self.spec.name
 
     @property
+    def default_stream(self) -> Stream:
+        return self.streams.default
+
+    def stream(self, name: str) -> Stream:
+        """Look up (creating on first use) a named transfer stream."""
+        return self.streams.stream(name)
+
+    @property
+    def timeline(self) -> Timeline:
+        """The default stream's timeline (the seed's single link queue)."""
+        return self.streams.default.timeline
+
+    @property
     def free_at(self) -> float:
-        return self.timeline.free_at
+        """Time at which all of the link's streams have drained."""
+        return self.streams.free_at
 
     def transfer_ms(self, nbytes: int) -> float:
         """Duration of a transfer of ``nbytes`` bytes."""
         return self.spec.transfer_ms(nbytes)
 
-    def schedule(self, ready_ms: float, nbytes: int, direction: str, label: str) -> Interval:
-        """Occupy the link for one transfer and record per-direction volume.
+    def schedule(
+        self,
+        ready_ms: float,
+        nbytes: int,
+        direction: str,
+        label: str,
+        stream: Optional[Stream] = None,
+    ) -> Interval:
+        """Occupy one link stream for one transfer and record the volume.
 
         Args:
             ready_ms: Earliest time the transfer may start.
             nbytes: Payload size in bytes.
             direction: ``"h2d"`` or ``"d2h"``.
             label: Event label for the timeline.
+            stream: Transfer stream to queue on (default stream if omitted).
         """
         if direction not in ("h2d", "d2h"):
             raise ValueError(f"unknown transfer direction: {direction!r}")
+        target = stream if stream is not None else self.streams.default
+        if target.resource != self.name:
+            raise ValueError(
+                f"stream {target.name!r} belongs to {target.resource!r}, "
+                f"not to link {self.name!r}"
+            )
         duration = self.transfer_ms(nbytes)
-        interval = self.timeline.reserve(ready_ms, duration, label)
+        interval = target.reserve(ready_ms, duration, label)
         if direction == "h2d":
             self._bytes_h2d += nbytes
         else:
@@ -76,4 +113,10 @@ class Link:
         return self._transfers
 
     def busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
-        return self.timeline.busy_ms(start_ms, end_ms)
+        """Union busy time across all link streams."""
+        return self.streams.busy_ms(start_ms, end_ms)
+
+    def per_stream_busy_ms(
+        self, start_ms: float | None = None, end_ms: float | None = None
+    ) -> Dict[str, float]:
+        return self.streams.per_stream_busy_ms(start_ms, end_ms)

@@ -6,38 +6,57 @@ transfers; the graph samplers charge CPU preprocessing work to it; models ask
 it for the preferred compute device; and the profiler (:mod:`repro.core`)
 reads its event log, device timelines and memory pools.
 
-Scheduling semantics (deliberately simple, but sufficient to reproduce all
-four bottlenecks in the paper):
+Scheduling semantics (CUDA-style streams over an analytic cost model):
 
 * The machine keeps a single *host time* cursor modelling the Python/PyTorch
   host thread that drives inference.
-* CPU kernels run synchronously: they occupy the CPU timeline and advance the
-  host cursor to their completion.
-* GPU kernels are launched asynchronously: the host cursor only advances by
-  the (small) launch call overhead, while the kernel itself is queued on the
-  GPU timeline behind previously launched kernels.  Because DGNN kernels are
-  issued one after another with data dependencies, they serialize on the GPU
-  stream -- the temporal-dependency bottleneck.
-* Host<->device transfers occupy the link timeline and are *blocking*: the
-  host waits for completion (mirroring unpinned-memory copies in PyTorch).
-  They appear as "Memory Copy" in the breakdowns -- the data-movement
-  bottleneck.
-* ``synchronize()`` advances the host cursor to the completion of all queued
-  GPU work, as ``torch.cuda.synchronize()`` does.
+* Every resource (CPU, GPU, PCIe link) owns a set of named execution
+  :class:`~repro.hw.stream.Stream` queues.  Work issued onto one stream
+  serializes in issue order; work on different streams of the same resource
+  may overlap in simulated time.  Each resource starts with a ``"default"``
+  stream, and :meth:`Machine.use_stream` temporarily redirects issue to a
+  named stream, like ``torch.cuda.stream(s)``.
+* CPU kernels and :meth:`host_work` issued on the CPU's *default* stream run
+  synchronously: they occupy the CPU timeline and advance the host cursor to
+  their completion (the seed's blocking semantics).  Issued on a *named* CPU
+  stream they model a worker/prefetch thread: the host pays only the dispatch
+  overhead and the work queues asynchronously -- this is what makes the
+  paper's sampling/compute overlap (Sec. 5.1.1) executable.
+* GPU kernels are always launched asynchronously: the host cursor advances by
+  the launch-call overhead while the kernel queues on the current GPU stream
+  behind previously issued work on that stream.  With everything on the
+  default stream, DGNN kernels serialize exactly as in the seed -- the
+  temporal-dependency bottleneck.
+* Host<->device transfers occupy a link stream.  By default they are
+  *blocking*: the host waits for completion (mirroring unpinned-memory
+  copies) and the copy serializes on the link's default stream.  With
+  ``non_blocking=True`` the copy is queued on the machine's dedicated
+  :attr:`copy_stream` (modelling a pinned-memory DMA engine) and the host
+  pays only the issue overhead.  Transfers appear as "Memory Copy" in the
+  breakdowns -- the data-movement bottleneck.
+* Cross-stream dependencies use :meth:`record_event` / :meth:`wait_event`
+  (``cudaEventRecord`` / ``cudaStreamWaitEvent`` analogues): work issued to a
+  stream after a wait cannot start before the event's ready time.
+* ``synchronize()`` joins *all* streams on all devices and the link, as
+  ``torch.cuda.synchronize()`` does; :meth:`stream_synchronize` joins one
+  stream and :meth:`event_synchronize` waits for one recorded event.
 * GPU warm-up (context creation, weight upload, allocation warm-up) is
   modelled explicitly and emits ``warmup`` events -- the warm-up bottleneck.
 * While the CPU runs long preprocessing (e.g. temporal neighbourhood
-  sampling) the GPU timeline simply stays idle, which is exactly the
-  workload-imbalance signature the paper reports.
+  sampling) on its default stream, the GPU timeline simply stays idle, which
+  is exactly the workload-imbalance signature the paper reports.
+
+A program that only ever touches default streams reproduces the seed's
+serialized single-queue scheduling *exactly*; all stream machinery is opt-in.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from .device import Device
-from .events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event, EventLog
+from .events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP, Event, EventLog
 from .link import Link
 from .spec import (
     DEFAULT_WARMUP,
@@ -48,6 +67,7 @@ from .spec import (
     LinkSpec,
     WarmupSpec,
 )
+from .stream import COPY_STREAM, Stream, StreamEvent
 
 _ACTIVE_MACHINE: List["Machine"] = []
 
@@ -90,6 +110,11 @@ class Machine:
         self._host_time = 0.0
         self._region_stack: List[str] = []
         self._gpu_context_ready = False
+        #: Per-resource current-stream overrides (see :meth:`use_stream`).
+        self._current_streams: Dict[str, Stream] = {}
+        #: Running per-device FLOP totals, updated on every kernel launch so
+        #: the profiler can read O(1) deltas instead of rescanning the log.
+        self._device_flops: Dict[str, float] = {d.name: 0.0 for d in self.devices}
 
     # -- construction helpers -------------------------------------------
 
@@ -135,6 +160,92 @@ class Machine:
     @property
     def devices(self) -> Sequence[Device]:
         return (self.cpu,) if self.gpu is None else (self.cpu, self.gpu)
+
+    # -- streams ---------------------------------------------------------
+
+    def stream(self, device: Union[Device, str], name: str) -> Stream:
+        """A named execution stream on ``device`` (created on first use).
+
+        ``device`` may be a :class:`Device`, a device name, or the kinds
+        ``"cpu"``/``"gpu"``.
+        """
+        if isinstance(device, str):
+            device = self.device(device)
+        return device.stream(name)
+
+    def default_stream(self, device: Union[Device, str]) -> Stream:
+        if isinstance(device, str):
+            device = self.device(device)
+        return device.default_stream
+
+    @property
+    def copy_stream(self) -> Stream:
+        """The dedicated link stream used by non-blocking transfers."""
+        return self.link.stream(COPY_STREAM)
+
+    def current_stream(self, resource: Union[Device, Link, str]) -> Stream:
+        """The stream work is currently issued onto for ``resource``.
+
+        ``resource`` may be a :class:`Device`, the :class:`Link`, a device
+        name/kind, or the link's name.
+        """
+        if isinstance(resource, str):
+            resource = (
+                self.link if resource == self.link.name else self.device(resource)
+            )
+        override = self._current_streams.get(resource.name)
+        return override if override is not None else resource.default_stream
+
+    @contextlib.contextmanager
+    def use_stream(self, stream: Stream) -> Iterator[Stream]:
+        """Issue subsequent work on ``stream``'s resource onto ``stream``.
+
+        The simulator's analogue of ``with torch.cuda.stream(s):``.  Nesting
+        is allowed; the innermost context wins for its resource.
+        """
+        resource = stream.resource
+        previous = self._current_streams.get(resource)
+        self._current_streams[resource] = stream
+        try:
+            yield stream
+        finally:
+            if previous is None:
+                self._current_streams.pop(resource, None)
+            else:
+                self._current_streams[resource] = previous
+
+    # -- stream events ----------------------------------------------------
+
+    def record_event(self, stream: Stream, name: str = "event") -> StreamEvent:
+        """Record a completion marker on ``stream`` (``cudaEventRecord``)."""
+        event = stream.record_event(self._host_time, name=name)
+        self.events.append(
+            Event(
+                kind=MARKER,
+                name=f"record:{name}",
+                resource=stream.resource,
+                start_ms=self._host_time,
+                end_ms=self._host_time,
+                region=self.current_region,
+                stream=stream.name,
+            )
+        )
+        return event
+
+    def wait_event(self, stream: Stream, event: StreamEvent) -> None:
+        """Make work issued to ``stream`` after this call wait for ``event``."""
+        stream.wait_event(event)
+        self.events.append(
+            Event(
+                kind=MARKER,
+                name=f"wait:{event.name}",
+                resource=stream.resource,
+                start_ms=self._host_time,
+                end_ms=self._host_time,
+                region=self.current_region,
+                stream=stream.name,
+            )
+        )
 
     # -- activation ------------------------------------------------------
 
@@ -188,22 +299,30 @@ class Machine:
         name: str,
         flops: float,
         bytes_moved: float,
+        stream: Optional[Stream] = None,
     ) -> Event:
         """Launch a compute kernel on ``device`` and record the event.
 
-        CPU kernels block the host until completion.  GPU kernels are
-        asynchronous: the host pays only the launch-call overhead and the
-        kernel queues behind prior GPU work.
+        The kernel queues on ``stream`` (the device's *current* stream when
+        omitted).  GPU kernels are always asynchronous: the host pays only
+        the launch-call overhead.  CPU kernels block the host when issued on
+        the CPU's default stream (the seed semantics) and model a worker
+        thread -- asynchronous enqueue -- on any named CPU stream.
         """
+        target = stream if stream is not None else self.current_stream(device)
         cost = device.kernel_cost(flops, bytes_moved)
         if device.is_gpu:
             if not self._gpu_context_ready:
                 self.initialize_gpu(model_bytes=0)
             self._host_time += device.spec.host_overhead_us * 1e-3
-            interval = device.schedule(self._host_time, cost.duration_ms, name)
-        else:
-            interval = device.schedule(self._host_time, cost.duration_ms, name)
+            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
+        elif target.is_default:
+            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
             self._host_time = interval.end_ms
+        else:
+            self._host_time += device.spec.host_overhead_us * 1e-3
+            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
+        self._device_flops[device.name] = self._device_flops.get(device.name, 0.0) + flops
         event = Event(
             kind=KERNEL,
             name=name,
@@ -213,14 +332,26 @@ class Machine:
             flops=flops,
             bytes=int(bytes_moved),
             region=self.current_region,
+            stream=target.name,
         )
         self.events.append(event)
         return event
 
-    def host_work(self, name: str, duration_ms: float) -> Event:
-        """Charge host-only work (Python bookkeeping, data loading) to the CPU."""
-        interval = self.cpu.schedule(self._host_time, duration_ms, name)
-        self._host_time = interval.end_ms
+    def host_work(
+        self, name: str, duration_ms: float, stream: Optional[Stream] = None
+    ) -> Event:
+        """Charge host-only work (Python bookkeeping, data loading) to the CPU.
+
+        On the CPU's default stream the host blocks until completion (seed
+        semantics); on a named CPU stream the work is queued asynchronously,
+        modelling a prefetch/worker thread.
+        """
+        target = stream if stream is not None else self.current_stream(self.cpu)
+        if target.is_default:
+            interval = self.cpu.schedule(self._host_time, duration_ms, name, stream=target)
+            self._host_time = interval.end_ms
+        else:
+            interval = self.cpu.schedule(self._host_time, duration_ms, name, stream=target)
         event = Event(
             kind=KERNEL,
             name=name,
@@ -228,6 +359,7 @@ class Machine:
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
             region=self.current_region,
+            stream=target.name,
         )
         self.events.append(event)
         return event
@@ -240,10 +372,25 @@ class Machine:
         dst: Device,
         nbytes: int,
         name: str = "memcpy",
+        non_blocking: bool = False,
+        stream: Optional[Stream] = None,
+        after: Optional[StreamEvent] = None,
     ) -> Event:
-        """Move ``nbytes`` between devices over the link (blocking the host).
+        """Move ``nbytes`` between devices over the link.
 
-        Transfers between a device and itself are free and emit no event.
+        Blocking transfers (the default) occupy the link's default stream and
+        advance the host cursor to completion, mirroring unpinned-memory
+        copies in PyTorch.  With ``non_blocking=True`` the copy queues on the
+        machine's dedicated :attr:`copy_stream` (pinned-memory semantics) and
+        the host pays only the issue overhead; use :meth:`record_event` on
+        the copy stream plus :meth:`wait_event` / :meth:`event_synchronize`
+        to order consumers after the copy.
+
+        The payload must exist before it can be copied, so the transfer never
+        starts before the *current stream* of the source device has drained;
+        an explicit ``after`` event adds a further dependency.
+
+        Transfers between a device and itself are invalid.
         """
         if src == dst:
             raise ValueError("transfer requires two distinct devices")
@@ -252,11 +399,26 @@ class Machine:
         direction = "h2d" if dst.is_gpu else "d2h"
         if (src.is_gpu or dst.is_gpu) and not self._gpu_context_ready:
             self.initialize_gpu(model_bytes=0)
+        target = stream
+        if target is None:
+            # A use_stream() context naming a link stream takes precedence;
+            # otherwise non-blocking copies take the dedicated copy stream and
+            # blocking copies serialize on the link's default stream.
+            override = self._current_streams.get(self.link.name)
+            if override is not None:
+                target = override
+            else:
+                target = self.copy_stream if non_blocking else self.link.default_stream
         # The payload must exist before it can be copied: wait for the
-        # producing device to finish its queued work.
-        ready = max(self._host_time, src.free_at)
-        interval = self.link.schedule(ready, nbytes, direction, name)
-        self._host_time = interval.end_ms
+        # producing stream to finish its queued work.
+        ready = max(self._host_time, self.current_stream(src).free_at)
+        if after is not None:
+            ready = max(ready, after.ready_ms)
+        interval = self.link.schedule(ready, nbytes, direction, name, stream=target)
+        if non_blocking:
+            self._host_time += self.link.spec.host_overhead_us * 1e-3
+        else:
+            self._host_time = interval.end_ms
         event = Event(
             kind=TRANSFER,
             name=name,
@@ -267,6 +429,7 @@ class Machine:
             region=self.current_region,
             src=src.name,
             dst=dst.name,
+            stream=target.name,
         )
         self.events.append(event)
         return event
@@ -274,7 +437,7 @@ class Machine:
     # -- synchronisation ------------------------------------------------------
 
     def synchronize(self, name: str = "cuda_sync") -> Event:
-        """Block the host until all queued device work has completed."""
+        """Block the host until all queued work on all streams has completed."""
         start = self._host_time
         pending = max((d.free_at for d in self.devices), default=start)
         pending = max(pending, self.link.free_at)
@@ -287,6 +450,40 @@ class Machine:
             start_ms=start,
             end_ms=end,
             region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    def stream_synchronize(self, stream: Stream, name: str = "stream_sync") -> Event:
+        """Block the host until one stream's queued work has completed."""
+        start = self._host_time
+        end = max(start, stream.free_at)
+        self._host_time = end
+        event = Event(
+            kind=SYNC,
+            name=name,
+            resource=stream.resource,
+            start_ms=start,
+            end_ms=end,
+            region=self.current_region,
+            stream=stream.name,
+        )
+        self.events.append(event)
+        return event
+
+    def event_synchronize(self, stream_event: StreamEvent, name: str = "event_sync") -> Event:
+        """Block the host until a recorded stream event is ready."""
+        start = self._host_time
+        end = max(start, stream_event.ready_ms)
+        self._host_time = end
+        event = Event(
+            kind=SYNC,
+            name=name,
+            resource=stream_event.resource,
+            start_ms=start,
+            end_ms=end,
+            region=self.current_region,
+            stream=stream_event.stream,
         )
         self.events.append(event)
         return event
@@ -318,6 +515,7 @@ class Machine:
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
             region=self.current_region,
+            stream=self.gpu.default_stream.name,
         )
         self.events.append(context_event)
         emitted.append(context_event)
@@ -349,6 +547,7 @@ class Machine:
             end_ms=interval.end_ms,
             bytes=footprint_bytes,
             region=self.current_region,
+            stream=self.gpu.default_stream.name,
         )
         self.events.append(event)
         return event
@@ -398,3 +597,11 @@ class Machine:
     def event_cursor(self) -> int:
         """Current position in the event log (for profiler snapshots)."""
         return len(self.events)
+
+    def device_flops(self, name: str) -> float:
+        """Running FLOP total charged to one device since machine creation."""
+        return self._device_flops.get(name, 0.0)
+
+    def device_flops_totals(self) -> Dict[str, float]:
+        """Copy of the running per-device FLOP totals."""
+        return dict(self._device_flops)

@@ -1,0 +1,203 @@
+"""Named execution streams (the simulator's analogue of CUDA streams).
+
+A :class:`Stream` is a FIFO work queue on one resource (a device's execution
+units or the PCIe link).  Work issued onto the same stream serializes in issue
+order; work issued onto *different* streams of the same resource may overlap
+in simulated time, which is what makes the paper's Sec. 5 proposals --
+sampling/compute overlap and cross-time-step pipelining -- executable instead
+of merely estimable.
+
+Cross-stream dependencies are expressed with :class:`StreamEvent` markers,
+mirroring ``cudaEventRecord`` / ``cudaStreamWaitEvent``:
+
+* :meth:`Stream.record_event` captures the completion time of all work issued
+  to the stream so far;
+* :meth:`Stream.wait_event` installs a floor so that work issued to the
+  stream *afterwards* cannot start before the event is ready.
+
+Every resource owns a ``"default"`` stream.  A machine that only ever touches
+default streams schedules exactly like the original single-queue simulator,
+which is how the seed's serialized semantics (and all figure/table numbers)
+are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .timeline import Interval, Timeline
+
+#: Name of the implicit stream every resource starts with.
+DEFAULT_STREAM = "default"
+
+#: Name of the machine-managed copy stream on the link (used by
+#: ``non_blocking`` transfers, modelling the GPU's dedicated copy engine).
+COPY_STREAM = "copy"
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """A recorded point in a stream's queue (``cudaEvent_t`` analogue).
+
+    Attributes:
+        stream: Name of the stream the event was recorded on.
+        resource: Name of the resource owning that stream.
+        ready_ms: Simulated time at which all work issued to the stream
+            before the record call has completed.
+        name: Optional label for traces.
+    """
+
+    stream: str
+    resource: str
+    ready_ms: float
+    name: str = "event"
+
+
+class Stream:
+    """One FIFO queue on a simulated resource.
+
+    Streams are created through :meth:`StreamSet.stream` (usually via
+    ``Machine.stream``); they should not be instantiated directly by user
+    code.  A stream owns its busy :class:`~repro.hw.timeline.Timeline` and a
+    monotone ``not-before`` floor raised by :meth:`wait_event`.
+    """
+
+    def __init__(self, resource: str, name: str) -> None:
+        self.resource = resource
+        self.name = name
+        self.timeline = Timeline(f"{resource}:{name}")
+        self._not_before = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.resource!r}, {self.name!r})"
+
+    @property
+    def is_default(self) -> bool:
+        return self.name == DEFAULT_STREAM
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time at which newly issued work could start."""
+        return max(self.timeline.free_at, self._not_before)
+
+    def reserve(self, ready_ms: float, duration_ms: float, label: str) -> Interval:
+        """Queue ``duration_ms`` of work behind everything already issued."""
+        return self.timeline.reserve(max(ready_ms, self._not_before), duration_ms, label)
+
+    def record_event(self, at_ms: float, name: str = "event") -> StreamEvent:
+        """Capture the completion time of all work issued so far.
+
+        ``at_ms`` is the host time of the record call: an empty (drained)
+        stream completes the event immediately at the record point, exactly
+        like ``cudaEventRecord`` on an idle stream.
+        """
+        return StreamEvent(
+            stream=self.name,
+            resource=self.resource,
+            ready_ms=max(at_ms, self.free_at),
+            name=name,
+        )
+
+    def wait_event(self, event: StreamEvent) -> None:
+        """Make all *subsequently issued* work wait for ``event``."""
+        self._not_before = max(self._not_before, event.ready_ms)
+
+    def busy_ms(self, start_ms: Optional[float] = None, end_ms: Optional[float] = None) -> float:
+        return self.timeline.busy_ms(start_ms, end_ms)
+
+
+class StreamSet:
+    """The collection of streams owned by one resource (device or link).
+
+    Provides the aggregate views the rest of the system needs: the join-all
+    ``free_at`` horizon and the *union* busy time (overlapping intervals on
+    different streams are not double counted, so utilization stays <= 1).
+    """
+
+    def __init__(self, resource: str) -> None:
+        self.resource = resource
+        self._streams: Dict[str, Stream] = {DEFAULT_STREAM: Stream(resource, DEFAULT_STREAM)}
+
+    # -- access ---------------------------------------------------------
+
+    @property
+    def default(self) -> Stream:
+        return self._streams[DEFAULT_STREAM]
+
+    def stream(self, name: str) -> Stream:
+        """Look up (creating on first use) the named stream."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        if name not in self._streams:
+            self._streams[name] = Stream(self.resource, name)
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __iter__(self):
+        return iter(self._streams.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._streams)
+
+    # -- aggregate views ------------------------------------------------
+
+    @property
+    def free_at(self) -> float:
+        """Time at which *all* streams of the resource have drained."""
+        return max(stream.timeline.free_at for stream in self._streams.values())
+
+    def busy_ms(
+        self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
+    ) -> float:
+        """Union busy time across all streams, optionally clipped to a window."""
+        return union_busy_ms(
+            (stream.timeline for stream in self._streams.values()), start_ms, end_ms
+        )
+
+    def per_stream_busy_ms(
+        self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
+    ) -> Dict[str, float]:
+        return {
+            name: stream.busy_ms(start_ms, end_ms)
+            for name, stream in self._streams.items()
+        }
+
+
+def union_busy_ms(
+    timelines: Iterable[Timeline],
+    start_ms: Optional[float] = None,
+    end_ms: Optional[float] = None,
+) -> float:
+    """Total time during which *any* of the given timelines is busy.
+
+    Intervals within one timeline are disjoint, but intervals on different
+    timelines (streams) may overlap; this sweeps the merged interval list so
+    concurrent work counts once.  With a single timeline this reduces exactly
+    to ``Timeline.busy_ms``.
+    """
+    lo = start_ms if start_ms is not None else float("-inf")
+    hi = end_ms if end_ms is not None else float("inf")
+    spans: List[Tuple[float, float]] = []
+    for timeline in timelines:
+        for interval in timeline:
+            clipped_lo = max(interval.start_ms, lo)
+            clipped_hi = min(interval.end_ms, hi)
+            if clipped_hi > clipped_lo:
+                spans.append((clipped_lo, clipped_hi))
+    if not spans:
+        return 0.0
+    spans.sort()
+    total = 0.0
+    current_lo, current_hi = spans[0]
+    for span_lo, span_hi in spans[1:]:
+        if span_lo > current_hi:
+            total += current_hi - current_lo
+            current_lo, current_hi = span_lo, span_hi
+        else:
+            current_hi = max(current_hi, span_hi)
+    total += current_hi - current_lo
+    return total

@@ -17,13 +17,13 @@ and the trailing device sync as ``Cuda Synchronization``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from ..datasets.base import TemporalInteractionDataset
 from ..graph.events import EventStream
-from ..graph.sampling import TemporalNeighborSampler
+from ..graph.sampling import NeighborhoodSample, TemporalNeighborSampler
 from ..hw.machine import Machine
 from ..nn import (
     MLP,
@@ -142,33 +142,104 @@ class TGAT(DGNNModel):
 
     def inference_iteration(self, batch: EventStream) -> Tensor:
         """Predict link scores for every interaction in the mini-batch."""
+        scores = self._forward(batch)
+        if self.machine.has_gpu:
+            self.machine.synchronize()
+        return scores
+
+    # -- overlap protocol (Sec. 5.1.1, executed) --------------------------------------
+
+    def prepare_iteration(self, batch: EventStream) -> List[NeighborhoodSample]:
+        """Host-side preprocessing of one batch: the full sampling plan.
+
+        Runs exactly the temporal-neighbourhood queries that
+        :meth:`inference_iteration` would issue, in the same order, and
+        returns them so :meth:`compute_iteration` can consume the batch
+        without touching the sampler.  Issued inside a named CPU stream
+        context (see :class:`repro.optim.OverlappedRunner`) the sampling cost
+        lands asynchronously, which is what lets batch ``i+1``'s sampling
+        hide under batch ``i``'s device work.
+        """
         nodes = np.concatenate([batch.src, batch.dst])
         times = np.concatenate([batch.timestamps, batch.timestamps])
-        embeddings = self._embed(nodes, times, layer=self.config.num_layers)
+        plan: List[NeighborhoodSample] = []
+        self._sampling_plan(nodes, times, self.config.num_layers, plan)
+        return plan
+
+    def compute_iteration(self, batch: EventStream, plan: List[NeighborhoodSample]) -> Tensor:
+        """Device-side half of one iteration, fed by a precomputed plan.
+
+        Synchronises only the compute device's default stream (not the whole
+        machine), so an in-flight asynchronous sampling stream keeps running.
+        """
+        scores = self._forward(batch, plan=iter(plan))
+        if self.machine.has_gpu:
+            self.machine.stream_synchronize(
+                self.machine.default_stream(self.compute_device)
+            )
+        return scores
+
+    def _sampling_plan(
+        self,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        layer: int,
+        out: List[NeighborhoodSample],
+    ) -> None:
+        """Depth-first sampling recursion matching :meth:`_embed`'s query order."""
+        if layer == 0:
+            return
+        config = self.config
+        with self.machine.region("Sampling (CPU)"):
+            sample = self.sampler.sample(nodes, times, config.num_neighbors)
+        out.append(sample)
+        self._sampling_plan(nodes, times, layer - 1, out)
+        flat_neighbors = sample.neighbor_ids.reshape(-1)
+        flat_times = np.repeat(times, config.num_neighbors)
+        self._sampling_plan(flat_neighbors, flat_times, layer - 1, out)
+
+    # -- recursive temporal attention -----------------------------------------------
+
+    def _forward(
+        self, batch: EventStream, plan: Optional[Iterator[NeighborhoodSample]] = None
+    ) -> Tensor:
+        """One mini-batch forward pass (sampling inline or from a plan)."""
+        nodes = np.concatenate([batch.src, batch.dst])
+        times = np.concatenate([batch.timestamps, batch.timestamps])
+        embeddings = self._embed(nodes, times, layer=self.config.num_layers, plan=plan)
         num_events = batch.num_events
         src_emb = Tensor(embeddings.data[:num_events], embeddings.device)
         dst_emb = Tensor(embeddings.data[num_events:], embeddings.device)
         with self.machine.region("Attention Layer"):
             pair = ops.concat([src_emb, dst_emb], axis=-1)
-            scores = ops.sigmoid(self.link_predictor(pair))
-        if self.machine.has_gpu:
-            self.machine.synchronize()
-        return scores
+            return ops.sigmoid(self.link_predictor(pair))
 
-    # -- recursive temporal attention -----------------------------------------------
+    def _embed(
+        self,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        layer: int,
+        plan: Optional[Iterator[NeighborhoodSample]] = None,
+    ) -> Tensor:
+        """Layer-``layer`` embeddings of (node, time) pairs on the compute device.
 
-    def _embed(self, nodes: np.ndarray, times: np.ndarray, layer: int) -> Tensor:
-        """Layer-``layer`` embeddings of (node, time) pairs on the compute device."""
+        With a ``plan``, neighbourhoods are popped from the precomputed
+        sampling plan (produced by :meth:`prepare_iteration` in the same
+        depth-first order) instead of querying -- and charging -- the sampler.
+        """
         if layer == 0:
             return self._raw_embeddings(nodes)
         config = self.config
-        with self.machine.region("Sampling (CPU)"):
-            sample = self.sampler.sample(nodes, times, config.num_neighbors)
+        if plan is None:
+            with self.machine.region("Sampling (CPU)"):
+                sample = self.sampler.sample(nodes, times, config.num_neighbors)
+        else:
+            sample = next(plan)
         # Recursive lower-layer embeddings for the targets and their neighbours.
-        target_prev = self._embed(nodes, times, layer - 1)
+        target_prev = self._embed(nodes, times, layer - 1, plan=plan)
         flat_neighbors = sample.neighbor_ids.reshape(-1)
         flat_times = np.repeat(times, config.num_neighbors)
-        neighbor_prev = self._embed(flat_neighbors, flat_times, layer - 1)
+        neighbor_prev = self._embed(flat_neighbors, flat_times, layer - 1, plan=plan)
         num_targets = len(nodes)
         neighbor_prev = ops.reshape(
             neighbor_prev, (num_targets, config.num_neighbors, config.node_dim)

@@ -7,7 +7,13 @@ from .delta_transfer import (
     compare_delta_transfer,
     estimate_transfer_savings,
 )
-from .overlap import DEFAULT_HOST_LABELS, OverlapEstimate, estimate_overlap_speedup
+from .overlap import (
+    DEFAULT_HOST_LABELS,
+    OverlapEstimate,
+    OverlapRunResult,
+    OverlappedRunner,
+    estimate_overlap_speedup,
+)
 from .pipelining import (
     PipelineEstimate,
     PipelinedEvolveGCN,
@@ -19,6 +25,8 @@ __all__ = [
     "DEFAULT_HOST_LABELS",
     "DeltaTransferComparison",
     "OverlapEstimate",
+    "OverlapRunResult",
+    "OverlappedRunner",
     "PipelineEstimate",
     "PipelinedEvolveGCN",
     "compare_delta_transfer",

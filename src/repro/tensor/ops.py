@@ -6,6 +6,13 @@ operands' device with a (flops, bytes) estimate from
 :mod:`repro.tensor.costs`.  Operators therefore behave like the PyTorch ops
 the paper profiles: real numerics plus a hardware cost that the profiler can
 attribute to modules and regions.
+
+Kernels are issued onto the device's *current* execution stream (see
+:meth:`~repro.hw.machine.Machine.use_stream`), so wrapping operator calls in
+a stream context pipelines them against work on other streams exactly like
+launching CUDA kernels under ``torch.cuda.stream(s)``.  Outside any stream
+context everything lands on the default stream and serializes as in the
+seed simulator.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ Scalar = Union[int, float]
 
 
 def _record(device: Device, name: str, flops: float, bytes_moved: float) -> None:
-    """Charge one kernel to the active machine (no-op without a machine)."""
+    """Charge one kernel to the active machine (no-op without a machine).
+
+    The kernel queues on the machine's current stream for ``device``, which
+    is the default stream unless the caller is inside ``use_stream``.
+    """
     if has_active_machine():
         current_machine().launch_kernel(device, name, flops, bytes_moved)
 

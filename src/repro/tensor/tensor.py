@@ -136,21 +136,44 @@ class Tensor:
 
     # -- device movement ------------------------------------------------------
 
-    def to(self, device: Device, record: bool = True, name: str = "") -> "Tensor":
+    def to(
+        self,
+        device: Device,
+        record: bool = True,
+        name: str = "",
+        non_blocking: bool = False,
+        track_memory: Optional[bool] = None,
+    ) -> "Tensor":
         """Copy the tensor to another device.
 
         When a machine is active and ``record`` is true, the copy occupies the
         PCIe link and appears as a ``transfer`` event (the "Memory Copy" rows
-        of the paper's breakdowns).  Moving to the same device returns
-        ``self``.
+        of the paper's breakdowns).  With ``non_blocking=True`` the copy is
+        queued on the machine's dedicated copy stream and the host does not
+        wait for it (pinned-memory semantics, like
+        ``tensor.to(device, non_blocking=True)`` in PyTorch); synchronise the
+        copy stream before timing-sensitive consumption.
+
+        ``record`` controls only whether the transfer *event* is emitted;
+        whether the destination copy is registered with the device's memory
+        pool is controlled independently by ``track_memory`` (default: always
+        track, so even unrecorded moves keep the memory accounting honest).
+        Moving to the same device returns ``self``.
         """
         if device == self.device:
             return self
         if record and has_active_machine():
             machine = current_machine()
-            machine.transfer(self.device, device, self.nbytes, name=name or "memcpy")
+            machine.transfer(
+                self.device,
+                device,
+                self.nbytes,
+                name=name or "memcpy",
+                non_blocking=non_blocking,
+            )
+        track = True if track_memory is None else track_memory
         return Tensor(
-            self.data, device, name=name or self.name, track_memory=record
+            self.data, device, name=name or self.name, track_memory=track
         )
 
     def free(self) -> None:

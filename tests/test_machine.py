@@ -1,0 +1,149 @@
+"""Scheduling invariants of the simulated machine.
+
+These pin the seed's serialized semantics: blocking CPU kernels, asynchronous
+GPU launches behind a single queue, blocking link transfers, join-all
+synchronisation and one-time warm-up.  The stream engine must preserve all of
+them when only default streams are used.
+"""
+
+import pytest
+
+from repro.hw import KERNEL, SYNC, TRANSFER, WARMUP, Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine.cpu_gpu()
+
+
+def warmed(machine):
+    machine.initialize_gpu(model_bytes=0)
+    return machine
+
+
+class TestHostCursor:
+    def test_cpu_kernel_blocks_host(self, machine):
+        start = machine.host_time_ms
+        event = machine.launch_kernel(machine.cpu, "cpu_op", flops=1e6, bytes_moved=1e3)
+        assert machine.host_time_ms == event.end_ms
+        assert event.end_ms > start
+
+    def test_host_work_blocks_host(self, machine):
+        machine.host_work("preprocess", 5.0)
+        assert machine.host_time_ms == pytest.approx(5.0)
+
+    def test_gpu_kernel_is_asynchronous(self, machine):
+        warmed(machine)
+        before = machine.host_time_ms
+        event = machine.launch_kernel(machine.gpu, "gemm", flops=1e9, bytes_moved=1e6)
+        # The host pays only the launch-call overhead, not the kernel duration.
+        overhead_ms = machine.gpu.spec.host_overhead_us * 1e-3
+        assert machine.host_time_ms == pytest.approx(before + overhead_ms)
+        assert event.end_ms > machine.host_time_ms
+
+    def test_gpu_kernels_serialize_on_default_stream(self, machine):
+        warmed(machine)
+        first = machine.launch_kernel(machine.gpu, "k1", flops=1e9, bytes_moved=0)
+        second = machine.launch_kernel(machine.gpu, "k2", flops=1e9, bytes_moved=0)
+        assert second.start_ms >= first.end_ms
+
+
+class TestTransfers:
+    def test_blocking_transfer_occupies_link_and_host(self, machine):
+        warmed(machine)
+        nbytes = 2_000_000
+        event = machine.transfer(machine.cpu, machine.gpu, nbytes)
+        expected_ms = machine.link.spec.transfer_ms(nbytes)
+        assert event.duration_ms == pytest.approx(expected_ms)
+        assert machine.host_time_ms == event.end_ms
+        assert machine.link.bytes_h2d == nbytes
+        assert machine.link.transfer_count == 1
+
+    def test_transfer_waits_for_producing_device(self, machine):
+        warmed(machine)
+        kernel = machine.launch_kernel(machine.gpu, "produce", flops=1e10, bytes_moved=0)
+        copy = machine.transfer(machine.gpu, machine.cpu, 1000)
+        assert copy.start_ms >= kernel.end_ms
+
+    def test_transfer_rejects_same_device(self, machine):
+        with pytest.raises(ValueError):
+            machine.transfer(machine.cpu, machine.cpu, 10)
+
+    def test_direction_accounting(self, machine):
+        warmed(machine)
+        machine.transfer(machine.cpu, machine.gpu, 100)
+        machine.transfer(machine.gpu, machine.cpu, 40)
+        assert machine.link.bytes_h2d == 100
+        assert machine.link.bytes_d2h == 40
+        assert machine.link.total_bytes == 140
+
+
+class TestSynchronize:
+    def test_synchronize_joins_all_queued_work(self, machine):
+        warmed(machine)
+        kernel = machine.launch_kernel(machine.gpu, "slow", flops=1e11, bytes_moved=0)
+        assert machine.host_time_ms < kernel.end_ms
+        sync = machine.synchronize()
+        assert sync.kind == SYNC
+        assert machine.host_time_ms == pytest.approx(kernel.end_ms)
+
+    def test_synchronize_is_noop_when_idle(self, machine):
+        warmed(machine)
+        before = machine.host_time_ms
+        sync = machine.synchronize()
+        assert sync.duration_ms == 0.0
+        assert machine.host_time_ms == before
+
+
+class TestWarmup:
+    def test_gpu_context_initialized_once(self, machine):
+        events = machine.initialize_gpu(model_bytes=0)
+        assert [e.kind for e in events] == [WARMUP]
+        assert machine.gpu_context_ready
+        assert machine.initialize_gpu(model_bytes=0) == []
+
+    def test_first_gpu_kernel_triggers_warmup(self, machine):
+        machine.launch_kernel(machine.gpu, "k", flops=1.0, bytes_moved=0)
+        kinds = [e.kind for e in machine.events]
+        assert kinds[0] == WARMUP
+        assert KERNEL in kinds
+
+    def test_weight_upload_is_a_transfer(self, machine):
+        events = machine.initialize_gpu(model_bytes=1_000_000)
+        assert [e.kind for e in events] == [WARMUP, TRANSFER]
+        assert events[1].name == "weight_upload"
+
+    def test_cpu_only_machine_has_no_warmup(self):
+        machine = Machine.cpu_only()
+        assert machine.initialize_gpu() == []
+        assert machine.allocation_warmup(1000) is None
+
+
+class TestRegionsAndMemory:
+    def test_regions_annotate_events(self, machine):
+        with machine.region("iteration"):
+            with machine.region("Sampling"):
+                event = machine.host_work("sample", 1.0)
+        assert event.region == ("iteration", "Sampling")
+        assert machine.current_region == ()
+
+    def test_alloc_free_roundtrip(self, machine):
+        alloc_id = machine.alloc(machine.cpu, 4096, tag="buf")
+        assert machine.cpu.memory.current_bytes == 4096
+        freed = machine.free(machine.cpu, alloc_id)
+        assert freed == 4096
+        assert machine.cpu.memory.current_bytes == 0
+
+    def test_running_flop_counters(self, machine):
+        warmed(machine)
+        machine.launch_kernel(machine.cpu, "a", flops=100.0, bytes_moved=0)
+        machine.launch_kernel(machine.gpu, "b", flops=50.0, bytes_moved=0)
+        machine.launch_kernel(machine.gpu, "c", flops=25.0, bytes_moved=0)
+        assert machine.device_flops(machine.cpu.name) == pytest.approx(100.0)
+        assert machine.device_flops(machine.gpu.name) == pytest.approx(75.0)
+        # The counters mirror an event-log scan, without the O(n^2) rescans.
+        scanned = {}
+        for event in machine.events:
+            if event.kind == KERNEL:
+                scanned[event.resource] = scanned.get(event.resource, 0.0) + event.flops
+        assert machine.device_flops_totals() == pytest.approx(scanned)

@@ -1,0 +1,102 @@
+"""Tensor operators: numerics plus kernel charging."""
+
+import numpy as np
+import pytest
+
+from repro.hw import KERNEL, Machine
+from repro.tensor import Tensor, ops
+from repro.tensor.tensor import DeviceMismatchError
+
+
+@pytest.fixture
+def machine():
+    m = Machine.cpu_gpu()
+    m.initialize_gpu(model_bytes=0)
+    return m
+
+
+def kernels(machine):
+    return [e for e in machine.events if e.kind == KERNEL]
+
+
+class TestKernelCharging:
+    def test_matmul_charges_one_kernel_with_flops(self, machine):
+        with machine.activate():
+            a = Tensor(np.ones((8, 4), dtype=np.float32), machine.cpu)
+            b = Tensor(np.ones((4, 6), dtype=np.float32), machine.cpu)
+            out = ops.matmul(a, b)
+        assert np.allclose(out.data, 4.0)
+        recorded = kernels(machine)
+        assert len(recorded) == 1
+        assert recorded[0].name == "gemm"
+        assert recorded[0].resource == machine.cpu.name
+        # 2*m*k*n multiply-accumulate FLOPs.
+        assert recorded[0].flops == pytest.approx(2 * 8 * 4 * 6)
+
+    def test_gpu_op_lands_on_gpu_queue(self, machine):
+        with machine.activate():
+            x = Tensor(np.ones((16, 16), dtype=np.float32), machine.gpu)
+            ops.relu(x)
+        recorded = kernels(machine)
+        assert recorded[-1].resource == machine.gpu.name
+        assert machine.gpu.busy_ms() > 0
+
+    def test_elementwise_numerics_and_charge(self, machine):
+        with machine.activate():
+            x = Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float32), machine.cpu)
+            y = ops.relu(x)
+            z = ops.add(y, 1.0)
+        assert np.allclose(y.data, [0.0, 0.0, 2.0])
+        assert np.allclose(z.data, [1.0, 1.0, 3.0])
+        assert [e.name for e in kernels(machine)] == ["relu", "add"]
+
+    def test_ops_without_machine_are_pure(self):
+        x = Tensor(np.ones(4, dtype=np.float32), Machine.cpu_only().cpu)
+        out = ops.mul(x, 3.0)
+        assert np.allclose(out.data, 3.0)
+
+    def test_reshape_is_free(self, machine):
+        with machine.activate():
+            x = Tensor(np.ones((2, 6), dtype=np.float32), machine.cpu)
+            before = len(kernels(machine))
+            y = ops.reshape(x, (3, 4))
+        assert y.shape == (3, 4)
+        assert len(kernels(machine)) == before
+
+    def test_device_mismatch_raises(self, machine):
+        with machine.activate():
+            a = Tensor(np.ones(3, dtype=np.float32), machine.cpu)
+            b = Tensor(np.ones(3, dtype=np.float32), machine.gpu)
+            with pytest.raises(DeviceMismatchError):
+                ops.add(a, b)
+
+
+class TestGatherScatter:
+    def test_gather_rows(self, machine):
+        with machine.activate():
+            table = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3), machine.cpu)
+            out = ops.gather_rows(table, [2, 0])
+        assert np.allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+        assert kernels(machine)[-1].name == "gather"
+
+    def test_scatter_rows_does_not_mutate(self, machine):
+        with machine.activate():
+            base = Tensor(np.zeros((3, 2), dtype=np.float32), machine.cpu)
+            updates = Tensor(np.ones((1, 2), dtype=np.float32), machine.cpu)
+            out = ops.scatter_rows(base, [1], updates)
+        assert np.allclose(base.data, 0.0)
+        assert np.allclose(out.data[1], 1.0)
+
+
+class TestStreamIssue:
+    def test_ops_issue_onto_current_stream(self, machine):
+        stream = machine.stream(machine.gpu, "side")
+        with machine.activate():
+            x = Tensor(np.ones((8, 8), dtype=np.float32), machine.gpu)
+            ops.relu(x)
+            with machine.use_stream(stream):
+                ops.relu(x)
+        events = kernels(machine)
+        assert events[-2].stream == "default"
+        assert events[-1].stream == "side"
+        assert stream.busy_ms() > 0
