@@ -12,10 +12,12 @@ The package is organised bottom-up:
 * :mod:`repro.core`        -- profiler, breakdowns, utilization, warm-up and
   bottleneck analysis (the paper's methodology);
 * :mod:`repro.optim`       -- the Sec. 5 optimization proposals;
+* :mod:`repro.serve`       -- simulated online inference serving (workload
+  generators, dynamic batching, SLO-aware scheduling, latency telemetry);
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure.
 """
 
-from . import core, datasets, experiments, graph, hw, models, nn, optim, tensor
+from . import core, datasets, experiments, graph, hw, models, nn, optim, serve, tensor
 from .core import Profile, Profiler, analyze_profile, compute_breakdown
 from .hw import Machine
 from .models import available_models, build_model
@@ -38,6 +40,7 @@ __all__ = [
     "models",
     "nn",
     "optim",
+    "serve",
     "tensor",
     "__version__",
 ]

@@ -13,6 +13,9 @@ Examples::
 
     # profile one model/dataset/device configuration
     repro-dgnn profile tgat --dataset wikipedia --device gpu --param num_neighbors=50
+
+    # simulate online serving under load
+    repro-dgnn serve tgat --dataset wikipedia --arrival poisson --rate 200 --slo-ms 50
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import argparse
 import itertools
 import json
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from . import __version__
 from .core import Profiler, analyze_profile, compute_breakdown
@@ -29,26 +32,61 @@ from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
 from .hw import Machine
 from .models import available_models, build_model
+from .serve import (
+    InferenceServer,
+    available_arrivals,
+    available_policies,
+    generate_requests,
+    make_arrival_process,
+    make_policy,
+)
 
 
-def _parse_param(values: List[str]) -> Dict[str, Any]:
-    """Parse ``key=value`` overrides, coercing ints/floats/bools."""
+def _coerce_value(raw: str) -> Any:
+    """Coerce a ``--param`` value string to bool/int/float, else keep it."""
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _param_override(text: str) -> Tuple[str, Any]:
+    """argparse type for ``--param``: a validated, coerced ``(key, value)``.
+
+    Raising :class:`argparse.ArgumentTypeError` here makes argparse exit
+    cleanly (usage message + ``SystemExit(2)``) on malformed overrides
+    instead of surfacing a raw traceback.
+    """
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"parameter override {text!r} must be key=value"
+        )
+    return key, _coerce_value(raw)
+
+
+def _parse_param(values: Sequence[Union[str, Tuple[str, Any]]]) -> Dict[str, Any]:
+    """Merge ``key=value`` overrides, coercing ints/floats/bools.
+
+    Accepts both raw strings (programmatic use; raises :class:`ValueError`
+    on malformed input) and the ``(key, value)`` pairs ``--param`` produces
+    via :func:`_param_override`.  Later duplicates win.
+    """
     overrides: Dict[str, Any] = {}
     for item in values:
-        if "=" not in item:
-            raise ValueError(f"parameter override {item!r} must be key=value")
-        key, raw = item.split("=", 1)
-        value: Any
-        if raw.lower() in ("true", "false"):
-            value = raw.lower() == "true"
+        if isinstance(item, tuple):
+            key, value = item
         else:
             try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    value = raw
+                key, value = _param_override(item)
+            except argparse.ArgumentTypeError as exc:
+                raise ValueError(str(exc)) from None
         overrides[key] = value
     return overrides
 
@@ -68,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run one paper experiment")
     exp.add_argument("name", choices=available_experiments())
     exp.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    exp.add_argument("--seed", type=int, default=0,
+                     help="random seed for seeded experiments (serving, overlap_exec)")
     exp.add_argument("--output", default=None, help="write the rows as JSON to this path")
     exp.add_argument("--max-rows", type=int, default=None, help="limit printed rows")
 
@@ -85,8 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires a model implementing the overlap protocol, e.g. tgat)",
     )
     prof.add_argument(
-        "--param", action="append", default=[],
+        "--param", action="append", type=_param_override, default=[],
+        metavar="KEY=VALUE",
         help="model config override, e.g. --param batch_size=256 (repeatable)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="simulate online inference serving under load",
+        description="Serve a stream of inference requests against one model "
+                    "on the simulated machine: seeded arrival process -> "
+                    "request queue -> dynamic batching under a scheduler "
+                    "policy -> model iterations, with latency-percentile "
+                    "telemetry at the end.",
+    )
+    srv.add_argument("model", choices=available_models())
+    srv.add_argument("--dataset", default=None, help="dataset name (model default if omitted)")
+    srv.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    srv.add_argument("--arrival", default="poisson", choices=available_arrivals(),
+                     help="request arrival process")
+    srv.add_argument("--rate", type=float, default=200.0,
+                     help="mean arrival rate in requests per simulated second")
+    srv.add_argument("--policy", default="timeout", choices=available_policies(),
+                     help="batch scheduling policy")
+    srv.add_argument("--slo-ms", type=float, default=50.0,
+                     help="per-request latency objective in simulated ms")
+    srv.add_argument("--duration", type=float, default=1000.0,
+                     help="arrival window in simulated ms (queued requests drain after)")
+    srv.add_argument("--max-batch-size", type=int, default=8,
+                     help="dynamic batching cap in requests")
+    srv.add_argument("--batch-timeout-ms", type=float, default=4.0,
+                     help="max wait before a partial batch is dispatched")
+    srv.add_argument("--events-per-request", type=int, default=1,
+                     help="event-stream slice size each request carries")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="seed for the arrival process (runs are reproducible)")
+    srv.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=False,
+        help="serve with the stream-based sampling/compute overlap scheduler "
+             "(requires a model implementing the overlap protocol, e.g. tgat)",
+    )
+    srv.add_argument(
+        "--param", action="append", type=_param_override, default=[],
+        metavar="KEY=VALUE",
+        help="model config override, e.g. --param num_neighbors=20 (repeatable)",
     )
     return parser
 
@@ -110,7 +192,7 @@ def _cmd_list_experiments() -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.name, scale=args.scale)
+    result = run_experiment(args.name, scale=args.scale, seed=args.seed)
     print(result.format_table(max_rows=args.max_rows))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -187,6 +269,50 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    overrides = _parse_param(args.param)
+    machine = Machine.cpu_gpu()
+    try:
+        with machine.activate():
+            dataset = load(args.dataset, scale=args.scale) if args.dataset else None
+            model = build_model(
+                args.model, machine, dataset=dataset, scale=args.scale, **overrides
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if dataset is None:
+        dataset = getattr(model, "dataset", None)
+    stream = getattr(dataset, "stream", None)
+    if stream is None:
+        print(f"error: {args.model} exposes no event stream to serve", file=sys.stderr)
+        return 2
+    try:
+        arrivals = make_arrival_process(
+            args.arrival, args.rate, seed=args.seed,
+            trace_timestamps=stream.timestamps if args.arrival == "trace" else None,
+        )
+        requests = generate_requests(
+            stream, arrivals, duration_ms=args.duration,
+            events_per_request=args.events_per_request, slo_ms=args.slo_ms,
+        )
+        policy = make_policy(
+            args.policy, max_batch_size=args.max_batch_size,
+            batch_timeout_ms=args.batch_timeout_ms, slo_ms=args.slo_ms,
+        )
+        server = InferenceServer(model, policy, overlap=args.overlap)
+        report = server.serve(
+            requests, label=f"{args.model}-serve", arrival_name=args.arrival
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_table())
+    if not requests:
+        print("(the workload offered no requests; raise --rate or --duration)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -200,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

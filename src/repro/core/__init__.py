@@ -39,6 +39,7 @@ from .breakdown import (
 )
 from .comparison import LatencyMeasurement, SpeedupRow, SpeedupTable
 from .profiler import DeviceSnapshot, Profile, Profiler, StreamSnapshot
+from .stats import LatencySummary, percentile
 from .utilization import (
     UtilizationPoint,
     UtilizationReport,
@@ -59,6 +60,7 @@ __all__ = [
     "DeviceSnapshot",
     "GPU_WARMUP",
     "LatencyMeasurement",
+    "LatencySummary",
     "MEMORY_COPY",
     "OTHER",
     "Profile",
@@ -80,6 +82,7 @@ __all__ = [
     "detect_temporal_dependency",
     "detect_workload_imbalance",
     "merge_breakdowns",
+    "percentile",
     "utilization_report",
     "warmup_report",
 ]

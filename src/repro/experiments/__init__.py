@@ -1,9 +1,21 @@
 """Experiment harnesses regenerating every table and figure in the paper's
 evaluation, plus the ablations for the Sec. 5 optimization proposals."""
 
+import inspect
 from typing import Callable, Dict, List
 
-from . import ablations, fig6, fig7, fig8, fig9, overlap_exec, table1, table2, warmup_onetime
+from . import (
+    ablations,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overlap_exec,
+    serving,
+    table1,
+    table2,
+    warmup_onetime,
+)
 from .runner import (
     ExperimentResult,
     measure_iteration_latency,
@@ -24,6 +36,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
     "overlap_exec": overlap_exec.run,
+    "serving": serving.run,
 }
 
 
@@ -31,13 +44,36 @@ def available_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
+#: Keyword arguments the CLI passes to every experiment uniformly; dropped
+#: for experiments whose ``run`` does not declare them (all other unknown
+#: kwargs still raise, so caller typos are not silently ignored).
+SHARED_KWARGS = ("seed",)
+
+
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    Shared CLI knobs (see :data:`SHARED_KWARGS`, e.g. ``--seed``) are dropped
+    for experiments whose ``run`` does not declare them: seeded experiments
+    thread the value through their configs and workload generators, the rest
+    -- deterministic by construction -- simply ignore it.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
         )
-    return EXPERIMENTS[name](**kwargs)
+    runner = EXPERIMENTS[name]
+    parameters = inspect.signature(runner).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if not accepts_any:
+        kwargs = {
+            k: v
+            for k, v in kwargs.items()
+            if k in parameters or k not in SHARED_KWARGS
+        }
+    return runner(**kwargs)
 
 
 __all__ = [
@@ -54,6 +90,7 @@ __all__ = [
     "profile_iterations",
     "profile_single_iteration",
     "run_experiment",
+    "serving",
     "table1",
     "table2",
     "warmup_onetime",

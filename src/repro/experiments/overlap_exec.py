@@ -47,6 +47,7 @@ def run(
     window: int = 4,
     tgat_neighbors: int = 50,
     tgat_batch: int = 16,
+    seed: int = 0,
 ) -> ExperimentResult:
     """Execute both optimized schedules and compare against the estimators."""
     result = ExperimentResult(
@@ -61,7 +62,9 @@ def run(
 
     # -- TGAT: sampling/compute overlap, executed -------------------------------
     wikipedia = load_dataset("wikipedia", scale=scale)
-    tgat_config = TGATConfig(num_neighbors=tgat_neighbors, batch_size=tgat_batch)
+    tgat_config = TGATConfig(
+        num_neighbors=tgat_neighbors, batch_size=tgat_batch, seed=seed
+    )
 
     machine = new_machine(use_gpu=True)
     with machine.activate():
@@ -104,12 +107,15 @@ def run(
     )
 
     # -- EvolveGCN-O: cross-time-step pipelining, executed ----------------------
+    # EvolveGCN weights are seeded at an offset so the default seed=0 keeps
+    # the config's historic seed (3) -- and with it the byte-identical
+    # default rows -- while distinct experiment seeds stay distinct.
     bitcoin = load_dataset("bitcoin-alpha", scale=scale)
     snapshots = [bitcoin.snapshots[i] for i in range(min(window, len(bitcoin.snapshots)))]
 
     machine = new_machine(use_gpu=True)
     with machine.activate():
-        sequential_model = EvolveGCN(machine, bitcoin, EvolveGCNConfig(variant="O"))
+        sequential_model = EvolveGCN(machine, bitcoin, EvolveGCNConfig(variant="O", seed=3 + seed))
         sequential_model.warm_up(snapshots[0])
         profiler = Profiler(machine)
         with profiler.capture("evolvegcn-sequential"):
@@ -122,7 +128,7 @@ def run(
 
     machine = new_machine(use_gpu=True)
     with machine.activate():
-        pipelined_model = EvolveGCN(machine, bitcoin, EvolveGCNConfig(variant="O"))
+        pipelined_model = EvolveGCN(machine, bitcoin, EvolveGCNConfig(variant="O", seed=3 + seed))
         pipelined_model.warm_up(snapshots[0])
         profiler = Profiler(machine)
         with profiler.capture("evolvegcn-pipelined"):

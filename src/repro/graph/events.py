@@ -126,6 +126,30 @@ class EventStream:
         for start in range(0, self.num_events, batch_size):
             yield self.slice_indices(start, min(start + batch_size, self.num_events))
 
+    @classmethod
+    def concat(cls, streams: Sequence["EventStream"]) -> "EventStream":
+        """Concatenate several streams into one, preserving event order.
+
+        Used by the serving layer to merge per-request event slices into one
+        dynamically batched iteration.  The pieces must follow each other in
+        time (the constructor rejects decreasing timestamps) and must agree
+        on the edge-feature width.
+        """
+        if not streams:
+            raise ValueError("concat requires at least one stream")
+        if len(streams) == 1:
+            return streams[0]
+        dims = {s.feature_dim for s in streams}
+        if len(dims) != 1:
+            raise ValueError(f"cannot concat streams with feature dims {sorted(dims)}")
+        return cls(
+            np.concatenate([s.src for s in streams]),
+            np.concatenate([s.dst for s in streams]),
+            np.concatenate([s.timestamps for s in streams]),
+            np.concatenate([s.edge_features for s in streams]),
+            num_nodes=max(s.num_nodes for s in streams),
+        )
+
     # -- per-node views --------------------------------------------------------
 
     def node_history(self, node: int, before_time: Optional[float] = None) -> np.ndarray:

@@ -48,6 +48,20 @@ Scheduling semantics (CUDA-style streams over an analytic cost model):
 
 A program that only ever touches default streams reproduces the seed's
 serialized single-queue scheduling *exactly*; all stream machinery is opt-in.
+
+Online serving (:mod:`repro.serve`) drives the host-time cursor in a third
+way: besides advancing through issued work, the serving loop calls
+:meth:`advance_host` to *fast-forward* the cursor to the next actionable
+instant -- a request arrival, a batching timeout, an SLO deadline -- whenever
+the pipeline is idle.  Because arrivals and model execution share the one
+host clock, a request's queueing delay is simply the cursor distance between
+its arrival and its dispatch, and its service time falls out of the same
+kernel/transfer scheduling as any offline iteration.  The cursor is
+monotonic (``advance_host`` rejects negative durations), so serving code
+must admit arrivals in timestamp order and may never schedule "into the
+past"; idle fast-forwards interleave safely with in-flight asynchronous
+stream work, which keeps draining behind the cursor exactly as during
+blocking execution.
 """
 
 from __future__ import annotations

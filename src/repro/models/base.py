@@ -76,6 +76,14 @@ class DGNNModel(Module):
     #: Model name; subclasses override.
     name: str = "dgnn"
 
+    #: Whether :meth:`iteration_batches` yields
+    #: :class:`~repro.graph.events.EventStream` slices that can be merged by
+    #: concatenation -- the contract the serving layer's dynamic batcher
+    #: relies on.  Event-stream models (TGAT, TGN, DyRep, LDG) set this;
+    #: models with structured batches (t-batches, snapshots, windows) must
+    #: override :meth:`make_request_batch` instead to be servable.
+    serves_event_streams: bool = False
+
     def __init__(self, machine: Machine) -> None:
         super().__init__()
         self.machine = machine
@@ -127,6 +135,42 @@ class DGNNModel(Module):
     def batch_footprint_bytes(self, batch: Any) -> int:
         """Approximate device-memory footprint of one iteration's working set."""
         return self.param_bytes()
+
+    # -- serving adapter -----------------------------------------------------
+
+    @property
+    def supports_overlap(self) -> bool:
+        """Whether the model implements the ``prepare_iteration`` /
+        ``compute_iteration`` overlap protocol (see :mod:`repro.optim`)."""
+        return callable(getattr(self, "prepare_iteration", None)) and callable(
+            getattr(self, "compute_iteration", None)
+        )
+
+    def make_request_batch(self, payloads: Sequence[Any]) -> Any:
+        """Merge per-request payloads into one iteration batch.
+
+        The online serving layer (:mod:`repro.serve`) hands each request a
+        small slice of work (for event-stream models: a few interaction
+        events) and dynamically batches queued requests into a single
+        :meth:`inference_iteration` unit.  The default implementation merges
+        :class:`~repro.graph.events.EventStream` slices by concatenation,
+        which covers every model whose ``iteration_batches`` yields event
+        streams (TGAT, TGN, ...); models with other batch types (t-batches,
+        snapshots) must override this to be servable.
+        """
+        from ..graph.events import EventStream
+
+        if (
+            self.serves_event_streams
+            and payloads
+            and all(isinstance(p, EventStream) for p in payloads)
+        ):
+            return EventStream.concat(list(payloads))
+        raise TypeError(
+            f"{type(self).__name__} cannot merge request payloads of type "
+            f"{[type(p).__name__ for p in payloads]}; override "
+            "make_request_batch to serve this model"
+        )
 
     # -- convenience ---------------------------------------------------------------
 

@@ -56,6 +56,7 @@ class DyRep(DGNNModel):
     """Event-sequential temporal point-process model."""
 
     name = "dyrep"
+    serves_event_streams = True
 
     def __init__(
         self,

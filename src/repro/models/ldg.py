@@ -53,6 +53,7 @@ class LDG(DGNNModel):
     """DyRep-style updates with an NRI encoder and a bilinear decoder."""
 
     name = "ldg"
+    serves_event_streams = True
 
     def __init__(
         self,

@@ -67,6 +67,7 @@ class TGAT(DGNNModel):
     """Temporal graph attention network over an interaction stream."""
 
     name = "tgat"
+    serves_event_streams = True
 
     def __init__(
         self,

@@ -61,6 +61,7 @@ class TGN(DGNNModel):
     """Temporal graph network with a per-node memory module."""
 
     name = "tgn"
+    serves_event_streams = True
 
     def __init__(
         self,

@@ -1,0 +1,68 @@
+"""Online inference serving on top of the hardware simulator.
+
+The paper characterizes DGNN inference one offline iteration at a time; this
+package turns that per-iteration cost model into end-to-end latency and
+throughput numbers under load.  It simulates an online serving stack on the
+:class:`~repro.hw.machine.Machine` clock:
+
+* :mod:`repro.serve.workload` -- seeded request generators (Poisson, bursty
+  on/off, dataset-trace replay) over an event stream;
+* :mod:`repro.serve.batcher` / :mod:`repro.serve.policy` -- a request queue
+  with dynamic batching under pluggable scheduler policies (FIFO, timeout
+  batching, SLO-aware batch shrinking);
+* :mod:`repro.serve.server` -- the serving loop, with blocking execution or
+  the stream-based sampling/compute overlap of :mod:`repro.optim`;
+* :mod:`repro.serve.telemetry` -- per-request queue/service/total latency,
+  p50/p95/p99 percentiles, throughput, SLO-violation rate and utilization.
+
+See the ``serving`` experiment and the ``repro-dgnn serve`` CLI subcommand
+for the end-to-end sweeps.
+"""
+
+from .batcher import DynamicBatcher
+from .policy import (
+    POLICIES,
+    FIFOPolicy,
+    SchedulerPolicy,
+    ServiceTimeEstimator,
+    SLOAwarePolicy,
+    TimeoutBatchingPolicy,
+    available_policies,
+    make_policy,
+)
+from .request import Request
+from .server import InferenceServer
+from .telemetry import ServingReport
+from .workload import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    BurstyProcess,
+    PoissonProcess,
+    TraceReplay,
+    available_arrivals,
+    generate_requests,
+    make_arrival_process,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "BurstyProcess",
+    "DynamicBatcher",
+    "FIFOPolicy",
+    "InferenceServer",
+    "POLICIES",
+    "PoissonProcess",
+    "Request",
+    "SLOAwarePolicy",
+    "SchedulerPolicy",
+    "ServiceTimeEstimator",
+    "ServingReport",
+    "TimeoutBatchingPolicy",
+    "TraceReplay",
+    "available_arrivals",
+    "available_policies",
+    "generate_requests",
+    "make_arrival_process",
+    "make_policy",
+]

@@ -1,0 +1,270 @@
+"""Pluggable batch-scheduling policies for the inference server.
+
+A policy answers two questions about the request queue: *how many* queued
+requests to dispatch as one dynamic batch right now (``0`` = keep waiting),
+and *when* to re-evaluate absent new arrivals (the timeout / deadline the
+server advances the simulated clock to).  Three policies are provided:
+
+* :class:`FIFOPolicy` -- dispatch whatever is queued immediately (up to
+  ``max_batch_size``).  Minimises queueing delay at low load but forfeits
+  batching efficiency.
+* :class:`TimeoutBatchingPolicy` -- accumulate until the batch is full or
+  the oldest request has waited ``batch_timeout_ms``: the classic dynamic
+  batcher (TF-Serving/Triton style).
+* :class:`SLOAwarePolicy` -- timeout batching that additionally tracks an
+  online estimate of batch service time and *shrinks* the batch when the
+  oldest request's deadline no longer fits a full batch's service.
+
+Policies are pure decision logic over (queue, clock); they never touch the
+machine, which keeps them unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from .request import Request
+
+
+class ServiceTimeEstimator:
+    """Online EWMA estimate of per-request service cost.
+
+    The server feeds every completed batch back via :meth:`observe`; the
+    SLO-aware policy asks :meth:`estimate` how long a candidate batch would
+    take.  A single smoothed per-request cost is enough here because batch
+    service in the simulator is dominated by per-event sampling/compute,
+    which scales near-linearly with batch size.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._per_request_ms: Optional[float] = None
+
+    @property
+    def per_request_ms(self) -> Optional[float]:
+        """Smoothed service cost of one request (``None`` before any batch)."""
+        return self._per_request_ms
+
+    def observe(self, batch_size: int, service_ms: float) -> None:
+        """Fold one completed batch into the estimate."""
+        if batch_size <= 0 or service_ms < 0:
+            return
+        sample = service_ms / batch_size
+        if self._per_request_ms is None:
+            self._per_request_ms = sample
+        else:
+            self._per_request_ms += self.alpha * (sample - self._per_request_ms)
+
+    def estimate(self, batch_size: int) -> float:
+        """Estimated service time of a ``batch_size`` batch (0 when unknown)."""
+        if self._per_request_ms is None:
+            return 0.0
+        return self._per_request_ms * batch_size
+
+
+class SchedulerPolicy:
+    """Base class: decides batch formation over the request queue."""
+
+    #: Registry name; subclasses override.
+    name: str = "policy"
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.max_batch_size = max_batch_size
+
+    def select_batch_size(self, queue: Sequence[Request], now_ms: float) -> int:
+        """Number of requests (from the queue head) to dispatch now; 0 = wait."""
+        raise NotImplementedError
+
+    def next_deadline_ms(
+        self, queue: Sequence[Request], now_ms: float
+    ) -> Optional[float]:
+        """Absolute time at which the policy wants to re-evaluate, or ``None``.
+
+        The server advances the simulated clock to the earlier of this and
+        the next request arrival when the policy declines to dispatch.
+        """
+        return None
+
+    def observe(self, batch_size: int, service_ms: float) -> None:
+        """Feedback hook: one batch of ``batch_size`` took ``service_ms``."""
+
+    def describe(self) -> str:
+        return f"{self.name}(max_batch_size={self.max_batch_size})"
+
+
+class FIFOPolicy(SchedulerPolicy):
+    """Dispatch immediately: whatever is queued, up to the batch cap."""
+
+    name = "fifo"
+
+    def select_batch_size(self, queue: Sequence[Request], now_ms: float) -> int:
+        return min(len(queue), self.max_batch_size)
+
+
+class TimeoutBatchingPolicy(SchedulerPolicy):
+    """Accumulate until the batch fills or the oldest request times out."""
+
+    name = "timeout"
+
+    def __init__(self, max_batch_size: int = 8, batch_timeout_ms: float = 5.0) -> None:
+        super().__init__(max_batch_size=max_batch_size)
+        if batch_timeout_ms < 0:
+            raise ValueError("batch_timeout_ms must be non-negative")
+        self.batch_timeout_ms = batch_timeout_ms
+
+    def select_batch_size(self, queue: Sequence[Request], now_ms: float) -> int:
+        if not queue:
+            return 0
+        if len(queue) >= self.max_batch_size:
+            return self.max_batch_size
+        if now_ms - queue[0].arrival_ms >= self.batch_timeout_ms:
+            return len(queue)
+        return 0
+
+    def next_deadline_ms(
+        self, queue: Sequence[Request], now_ms: float
+    ) -> Optional[float]:
+        if not queue:
+            return None
+        return queue[0].arrival_ms + self.batch_timeout_ms
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(max_batch_size={self.max_batch_size}, "
+            f"batch_timeout_ms={self.batch_timeout_ms})"
+        )
+
+
+class SLOAwarePolicy(TimeoutBatchingPolicy):
+    """Timeout batching that shrinks batches under deadline pressure.
+
+    While the oldest queued request has comfortable slack, this behaves like
+    :class:`TimeoutBatchingPolicy`.  Once the slack no longer covers the
+    estimated service time of the batch it would otherwise form, the policy
+    dispatches immediately with the largest batch whose estimated service
+    still fits inside the slack (always at least one request -- a late
+    dispatch is better than a later one).  The estimate comes from a
+    :class:`ServiceTimeEstimator` fed by the server's completion feedback.
+    """
+
+    name = "slo"
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        batch_timeout_ms: float = 5.0,
+        slo_ms: float = 50.0,
+        safety_factor: float = 1.2,
+        estimator: Optional[ServiceTimeEstimator] = None,
+    ) -> None:
+        super().__init__(max_batch_size=max_batch_size, batch_timeout_ms=batch_timeout_ms)
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1")
+        self.slo_ms = slo_ms
+        self.safety_factor = safety_factor
+        self.estimator = estimator if estimator is not None else ServiceTimeEstimator()
+
+    def _slack_ms(self, oldest: Request, now_ms: float) -> float:
+        deadline = oldest.deadline_ms
+        if deadline is None:
+            deadline = oldest.arrival_ms + self.slo_ms
+        return deadline - now_ms
+
+    def select_batch_size(self, queue: Sequence[Request], now_ms: float) -> int:
+        if not queue:
+            return 0
+        candidate = min(len(queue), self.max_batch_size)
+        per_request = self.estimator.per_request_ms
+        if per_request is None:
+            # No service observations yet: fall back to plain timeout batching.
+            return super().select_batch_size(queue, now_ms)
+        slack = self._slack_ms(queue[0], now_ms)
+        cost = per_request * self.safety_factor
+        if slack > self.estimator.estimate(candidate) * self.safety_factor:
+            # Comfortable slack: a full batch still makes the deadline.
+            return super().select_batch_size(queue, now_ms)
+        fitting = int(slack // cost) if cost > 0 else candidate
+        if fitting < 1:
+            # The oldest deadline is unsalvageable even with a batch of one;
+            # shrinking would only shed throughput and grow the backlog (a
+            # latency death spiral under overload), so batch for throughput.
+            return super().select_batch_size(queue, now_ms)
+        # Deadline pressure: dispatch now with the largest batch that fits.
+        return min(candidate, fitting)
+
+    def next_deadline_ms(
+        self, queue: Sequence[Request], now_ms: float
+    ) -> Optional[float]:
+        timeout_deadline = super().next_deadline_ms(queue, now_ms)
+        if not queue:
+            return timeout_deadline
+        per_request = self.estimator.per_request_ms
+        if per_request is None:
+            return timeout_deadline
+        candidate = min(len(queue), self.max_batch_size)
+        slack = self._slack_ms(queue[0], now_ms)
+        cost = per_request * self.safety_factor
+        pressure_start = now_ms + slack - self.estimator.estimate(candidate) * (
+            self.safety_factor
+        )
+        if pressure_start <= now_ms:
+            # Already under pressure: act immediately if a shrunken batch can
+            # still make the deadline, otherwise wait for the plain timeout.
+            if slack >= cost:
+                return now_ms
+            return timeout_deadline
+        if timeout_deadline is None:
+            return pressure_start
+        return min(timeout_deadline, pressure_start)
+
+    def observe(self, batch_size: int, service_ms: float) -> None:
+        self.estimator.observe(batch_size, service_ms)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(max_batch_size={self.max_batch_size}, "
+            f"batch_timeout_ms={self.batch_timeout_ms}, slo_ms={self.slo_ms})"
+        )
+
+
+#: Policy registry for the CLI / experiment sweeps.
+POLICIES: Dict[str, Type[SchedulerPolicy]] = {
+    FIFOPolicy.name: FIFOPolicy,
+    TimeoutBatchingPolicy.name: TimeoutBatchingPolicy,
+    SLOAwarePolicy.name: SLOAwarePolicy,
+}
+
+
+def available_policies() -> List[str]:
+    return sorted(POLICIES)
+
+
+def make_policy(
+    name: str,
+    max_batch_size: int = 8,
+    batch_timeout_ms: float = 5.0,
+    slo_ms: Optional[float] = None,
+) -> SchedulerPolicy:
+    """Build a scheduler policy by registry name."""
+    key = name.lower()
+    if key == FIFOPolicy.name:
+        return FIFOPolicy(max_batch_size=max_batch_size)
+    if key == TimeoutBatchingPolicy.name:
+        return TimeoutBatchingPolicy(
+            max_batch_size=max_batch_size, batch_timeout_ms=batch_timeout_ms
+        )
+    if key == SLOAwarePolicy.name:
+        return SLOAwarePolicy(
+            max_batch_size=max_batch_size,
+            batch_timeout_ms=batch_timeout_ms,
+            slo_ms=slo_ms if slo_ms is not None else 50.0,
+        )
+    raise KeyError(
+        f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+    )

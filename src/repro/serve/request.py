@@ -1,0 +1,81 @@
+"""Inference requests as the serving layer sees them.
+
+A :class:`Request` is one user-facing unit of work: a small slice of the
+dataset's event stream (for continuous-time models, a handful of interaction
+events to score) stamped with a simulated arrival time and an optional
+latency SLO.  The server mutates the bookkeeping fields (dispatch/completion
+times, batch size) as the request moves queue -> batch -> device, and the
+telemetry layer derives the queueing/service/total latency split from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Request:
+    """One inference request travelling through the serving pipeline.
+
+    Attributes:
+        request_id: Monotonically increasing id, in arrival order.
+        arrival_ms: Simulated arrival time, relative to the serve start.
+        payload: Model-specific work unit (for event-stream models an
+            :class:`~repro.graph.events.EventStream` slice).
+        num_events: Number of raw events the payload carries.
+        slo_ms: Latency objective for this request (``None`` = best effort).
+        dispatched_ms / completed_ms: Filled in by the server, on the same
+            clock as ``arrival_ms``.
+        batch_size: Number of requests in the batch this request rode in.
+    """
+
+    request_id: int
+    arrival_ms: float
+    payload: Any
+    num_events: int = 1
+    slo_ms: Optional[float] = None
+    dispatched_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+    batch_size: Optional[int] = None
+
+    # -- latency views (valid once completed) --------------------------------
+
+    @property
+    def is_completed(self) -> bool:
+        return self.completed_ms is not None
+
+    @property
+    def queue_ms(self) -> float:
+        """Time spent waiting in the request queue before dispatch."""
+        if self.dispatched_ms is None:
+            raise ValueError(f"request {self.request_id} was never dispatched")
+        return self.dispatched_ms - self.arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        """Time from dispatch to completion (batch formation to device done)."""
+        if self.completed_ms is None or self.dispatched_ms is None:
+            raise ValueError(f"request {self.request_id} was never completed")
+        return self.completed_ms - self.dispatched_ms
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        if self.completed_ms is None:
+            raise ValueError(f"request {self.request_id} was never completed")
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        """Absolute completion deadline (``None`` for best-effort requests)."""
+        if self.slo_ms is None:
+            return None
+        return self.arrival_ms + self.slo_ms
+
+    @property
+    def slo_violated(self) -> bool:
+        """Whether the completed request missed its latency objective."""
+        if self.slo_ms is None:
+            return False
+        return self.total_ms > self.slo_ms

@@ -1,0 +1,194 @@
+"""The simulated online inference server.
+
+:class:`InferenceServer` closes the loop between the workload generators,
+the dynamic batcher and the hardware simulator: it walks the request list in
+simulated time, advancing the :class:`~repro.hw.machine.Machine` host-time
+cursor to the next *actionable* instant (a request arrival, a batching
+timeout, an SLO deadline) whenever the pipeline is idle, and charging all
+model work to the machine in between.  Because arrivals, batching decisions
+and model execution all share the one host clock, per-request latencies fall
+straight out of the event timeline.
+
+Two execution modes:
+
+* **blocking** (default) -- each dispatched batch runs through
+  ``inference_iteration``: sampling on the host, compute on the device, a
+  full synchronisation at the end.  This is the seed's serialized semantics
+  and the baseline the paper profiles.
+* **overlap** -- for models implementing the ``prepare_iteration`` /
+  ``compute_iteration`` protocol, the server keeps one batch in flight: when
+  batch ``i+1`` is formed (from requests that queued up while ``i`` was
+  running) its sampling is issued onto a named CPU stream *before* the
+  server blocks on batch ``i``'s device work, so the two overlap in
+  simulated time exactly as in :class:`repro.optim.OverlappedRunner`.  Under
+  load this shortens the effective service time towards
+  ``max(host, device)``, which is what pulls in the p99.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.profiler import Profiler
+from ..hw.stream import StreamEvent
+from .batcher import DynamicBatcher
+from .policy import SchedulerPolicy
+from .request import Request
+from .telemetry import ServingReport
+
+#: (requests, merged payload, sampling plan, prepared event)
+_Inflight = Tuple[List[Request], Any, Any, StreamEvent]
+
+
+class InferenceServer:
+    """Serves a request list against one model on its simulated machine."""
+
+    #: Name of the CPU stream overlap-mode sampling is issued onto.
+    SAMPLING_STREAM = "serve-sampling"
+
+    def __init__(
+        self, model: Any, policy: SchedulerPolicy, overlap: bool = False
+    ) -> None:
+        if overlap and not getattr(model, "supports_overlap", False):
+            raise TypeError(
+                f"{type(model).__name__} does not implement the overlap protocol "
+                "(prepare_iteration/compute_iteration); serve it with overlap=False"
+            )
+        self.model = model
+        self.policy = policy
+        self.overlap = overlap
+        self.batcher = DynamicBatcher(policy)
+        self._inflight: Optional[_Inflight] = None
+
+    # -- public API -----------------------------------------------------------
+
+    def serve(
+        self,
+        requests: Sequence[Request],
+        label: str = "serve",
+        arrival_name: str = "trace",
+        warm_up: bool = True,
+    ) -> ServingReport:
+        """Serve ``requests`` to completion and return the telemetry report.
+
+        Warm-up (GPU context, weight upload, allocation warm-up for a
+        representative batch) happens outside the measured window, as in the
+        offline experiments; the profiling capture wraps the serving loop so
+        utilization numbers reflect steady-state serving only.
+        """
+        machine = self.model.machine
+        report = ServingReport(
+            label=label,
+            policy=self.policy.describe(),
+            arrival=arrival_name,
+            offered=len(requests),
+            overlap=self.overlap,
+        )
+        if not requests:
+            return report
+        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        with machine.activate():
+            if warm_up:
+                head = [r.payload for r in ordered[: self.policy.max_batch_size]]
+                self.model.warm_up(self.model.make_request_batch(head))
+            profiler = Profiler(machine)
+            with profiler.capture(label):
+                completed, duration_ms = self._loop(ordered)
+        profile = profiler.last_profile
+        report.requests = completed
+        report.duration_ms = duration_ms
+        report.gpu_utilization = profile.gpu_utilization()
+        if profile.elapsed_ms > 0:
+            report.cpu_utilization = min(
+                1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms
+            )
+        return report
+
+    # -- serving loop -----------------------------------------------------------
+
+    def _loop(self, requests: Sequence[Request]) -> Tuple[List[Request], float]:
+        """Run the arrival/batch/execute loop; returns (completed, duration)."""
+        machine = self.model.machine
+        t0 = machine.host_time_ms
+        completed: List[Request] = []
+        index = 0
+        while True:
+            now = machine.host_time_ms - t0
+            while index < len(requests) and requests[index].arrival_ms <= now + 1e-9:
+                self.batcher.enqueue(requests[index])
+                index += 1
+            batch = self.batcher.poll(now)
+            if batch:
+                self._dispatch(batch, t0, completed)
+                continue
+            if self._inflight is not None:
+                # Nothing new to form: retire the in-flight batch.  Requests
+                # arriving during its device work are admitted next tick.
+                entry, self._inflight = self._inflight, None
+                self._compute(entry, t0, completed)
+                continue
+            # Idle: advance the clock to the next actionable instant.
+            targets = []
+            if index < len(requests):
+                targets.append(requests[index].arrival_ms)
+            deadline = self.batcher.next_deadline_ms(now)
+            if deadline is not None:
+                targets.append(deadline)
+            if not targets:
+                if len(self.batcher) == 0:
+                    break
+                # Arrivals exhausted and the policy would wait forever: drain.
+                self._dispatch(self.batcher.force(now), t0, completed)
+                continue
+            machine.advance_host(max(min(targets) - now, 1e-6))
+        return completed, machine.host_time_ms - t0
+
+    # -- execution ---------------------------------------------------------------
+
+    def _dispatch(
+        self, batch: List[Request], t0: float, completed: List[Request]
+    ) -> None:
+        """Execute (or pipeline) one freshly formed batch."""
+        machine = self.model.machine
+        now = machine.host_time_ms - t0
+        payload = self.model.make_request_batch([r.payload for r in batch])
+        for request in batch:
+            request.dispatched_ms = now
+            request.batch_size = len(batch)
+        if not self.overlap:
+            self.model.inference_iteration(payload)
+            self._finish(batch, t0, completed)
+            return
+        # Overlap mode: issue this batch's sampling onto the prefetch stream
+        # *before* blocking on the previous batch's device work, so the two
+        # run concurrently in simulated time.
+        stream = machine.stream(machine.cpu, self.SAMPLING_STREAM)
+        with machine.use_stream(stream):
+            plan = self.model.prepare_iteration(payload)
+            ready = machine.record_event(stream, name="serve_prepared")
+        previous, self._inflight = self._inflight, (batch, payload, plan, ready)
+        if previous is not None:
+            self._compute(previous, t0, completed)
+
+    def _compute(
+        self, entry: _Inflight, t0: float, completed: List[Request]
+    ) -> None:
+        """Retire one prepared batch: wait for its plan, run device compute."""
+        batch, payload, plan, ready = entry
+        machine = self.model.machine
+        machine.event_synchronize(ready, name="serve_wait_prepared")
+        self.model.compute_iteration(payload, plan)
+        self._finish(batch, t0, completed)
+
+    def _finish(
+        self, batch: List[Request], t0: float, completed: List[Request]
+    ) -> None:
+        """Stamp completions and feed the service time back to the policy."""
+        machine = self.model.machine
+        done = machine.host_time_ms - t0
+        for request in batch:
+            request.completed_ms = done
+        completed.extend(batch)
+        dispatched = batch[0].dispatched_ms
+        if dispatched is not None:
+            self.policy.observe(len(batch), done - dispatched)

@@ -1,0 +1,145 @@
+"""Serving telemetry: latency percentiles, throughput, SLO accounting.
+
+A :class:`ServingReport` is the outcome of one server run: the completed
+requests (each carrying its queue/service/total latency split), the measured
+window, and the hardware-utilization numbers read from the profiler capture
+that wrapped the run.  Percentiles come from :mod:`repro.core.stats` so the
+serving numbers use exactly the same interpolation as offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..core.stats import LatencySummary
+from .request import Request
+
+
+@dataclass
+class ServingReport:
+    """Telemetry of one serving run.
+
+    Attributes:
+        label: Human-readable run identifier.
+        policy: ``describe()`` string of the scheduler policy.
+        arrival: Arrival-process name.
+        requests: The completed requests, in completion order.
+        offered: Number of requests the workload offered (>= completed when
+            a run is truncated).
+        duration_ms: Measured simulated window (first arrival admission to
+            last completion).
+        gpu_utilization / cpu_utilization: Busy fractions over the window.
+        overlap: Whether the run used the sampling/compute overlap scheduler.
+    """
+
+    label: str
+    policy: str
+    arrival: str
+    requests: List[Request] = field(default_factory=list)
+    offered: int = 0
+    duration_ms: float = 0.0
+    gpu_utilization: float = 0.0
+    cpu_utilization: float = 0.0
+    overlap: bool = False
+
+    # -- latency distributions -------------------------------------------------
+
+    def _values(self, attribute: str) -> List[float]:
+        return [getattr(r, attribute) for r in self.requests if r.is_completed]
+
+    def total_latency(self) -> LatencySummary:
+        return LatencySummary.from_values(self._values("total_ms"))
+
+    def queue_latency(self) -> LatencySummary:
+        return LatencySummary.from_values(self._values("queue_ms"))
+
+    def service_latency(self) -> LatencySummary:
+        return LatencySummary.from_values(self._values("service_ms"))
+
+    # -- headline rates -----------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.requests if r.is_completed)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed / (self.duration_ms / 1000.0)
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Fraction of completed requests that missed their SLO."""
+        if self.completed == 0:
+            return 0.0
+        return sum(1 for r in self.requests if r.is_completed and r.slo_violated) / (
+            self.completed
+        )
+
+    @property
+    def mean_batch_size(self) -> float:
+        sizes = [r.batch_size for r in self.requests if r.batch_size]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    # -- presentation ---------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dict of the headline numbers (one experiment row)."""
+        row: Dict[str, Any] = {
+            "label": self.label,
+            "policy": self.policy,
+            "arrival": self.arrival,
+            "overlap": self.overlap,
+            "offered": self.offered,
+            "completed": self.completed,
+            "duration_ms": round(self.duration_ms, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "slo_violation_rate": round(self.slo_violation_rate, 4),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "gpu_utilization": round(self.gpu_utilization, 4),
+            "cpu_utilization": round(self.cpu_utilization, 4),
+        }
+        if self.completed:
+            for prefix, summary in (
+                ("", self.total_latency()),
+                ("queue_", self.queue_latency()),
+                ("service_", self.service_latency()),
+            ):
+                row.update(
+                    {k: round(v, 3) for k, v in summary.as_dict(prefix).items()}
+                )
+        return row
+
+    def format_table(self) -> str:
+        """Render the report for the CLI."""
+        lines = [f"serving report: {self.label}"]
+        lines.append(f"  policy:   {self.policy}")
+        lines.append(f"  arrival:  {self.arrival}   overlap: {self.overlap}")
+        lines.append(
+            f"  requests: {self.completed}/{self.offered} completed over "
+            f"{self.duration_ms:.1f} ms (simulated)"
+        )
+        lines.append(
+            f"  throughput: {self.throughput_rps:.1f} req/s   "
+            f"mean batch: {self.mean_batch_size:.2f}   "
+            f"SLO violations: {self.slo_violation_rate * 100:.1f}%"
+        )
+        if self.completed:
+            for name, summary in (
+                ("total", self.total_latency()),
+                ("queue", self.queue_latency()),
+                ("service", self.service_latency()),
+            ):
+                lines.append(
+                    f"  {name:<8} latency (ms): mean {summary.mean_ms:8.3f}   "
+                    f"p50 {summary.p50_ms:8.3f}   p95 {summary.p95_ms:8.3f}   "
+                    f"p99 {summary.p99_ms:8.3f}   max {summary.max_ms:8.3f}"
+                )
+        lines.append(
+            f"  utilization: GPU {self.gpu_utilization * 100:.2f}%   "
+            f"CPU {self.cpu_utilization * 100:.2f}%"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Percentile statistics (repro.core.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencySummary, percentile
+
+
+def test_percentile_matches_numpy_linear_interpolation():
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0.0, 100.0, size=137).tolist()
+    for q in (0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+        assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+
+def test_percentile_single_value_and_bounds():
+    assert percentile([42.0], 99.0) == 42.0
+    assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+    assert percentile([1.0, 2.0, 3.0], 100.0) == 3.0
+
+
+def test_percentile_rejects_empty_and_bad_q():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+
+
+def test_latency_summary_from_values():
+    values = [float(v) for v in range(1, 101)]
+    summary = LatencySummary.from_values(values)
+    assert summary.count == 100
+    assert summary.mean_ms == pytest.approx(50.5)
+    assert summary.min_ms == 1.0
+    assert summary.max_ms == 100.0
+    assert summary.p50_ms == pytest.approx(np.percentile(values, 50))
+    assert summary.p99_ms == pytest.approx(np.percentile(values, 99))
+    row = summary.as_dict(prefix="queue_")
+    assert set(row) == {
+        "queue_mean_ms", "queue_p50_ms", "queue_p95_ms", "queue_p99_ms", "queue_max_ms",
+    }
+
+
+def test_latency_summary_rejects_empty():
+    with pytest.raises(ValueError):
+        LatencySummary.from_values([])

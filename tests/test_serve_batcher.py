@@ -1,0 +1,178 @@
+"""Dynamic batcher + scheduler policy edge cases (no simulator involved)."""
+
+import pytest
+
+from repro.serve import (
+    DynamicBatcher,
+    FIFOPolicy,
+    Request,
+    ServiceTimeEstimator,
+    SLOAwarePolicy,
+    TimeoutBatchingPolicy,
+    make_policy,
+)
+
+
+def _request(request_id, arrival_ms, slo_ms=None):
+    return Request(
+        request_id=request_id, arrival_ms=arrival_ms, payload=None, slo_ms=slo_ms
+    )
+
+
+# -- empty queue ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_name", ["fifo", "timeout", "slo"])
+def test_empty_queue_tick_yields_no_batch(policy_name):
+    batcher = DynamicBatcher(make_policy(policy_name))
+    assert len(batcher) == 0
+    assert batcher.poll(123.0) == []
+    assert batcher.next_deadline_ms(123.0) is None
+    assert batcher.oldest is None
+
+
+# -- FIFO -----------------------------------------------------------------------
+
+
+def test_fifo_dispatches_immediately_in_arrival_order():
+    batcher = DynamicBatcher(FIFOPolicy(max_batch_size=4))
+    for rid in range(3):
+        batcher.enqueue(_request(rid, arrival_ms=float(rid)))
+    batch = batcher.poll(10.0)
+    assert [r.request_id for r in batch] == [0, 1, 2]
+    assert len(batcher) == 0
+
+
+def test_fifo_caps_at_max_batch_size():
+    batcher = DynamicBatcher(FIFOPolicy(max_batch_size=2))
+    for rid in range(5):
+        batcher.enqueue(_request(rid, arrival_ms=0.0))
+    assert [r.request_id for r in batcher.poll(1.0)] == [0, 1]
+    assert [r.request_id for r in batcher.poll(1.0)] == [2, 3]
+    assert [r.request_id for r in batcher.poll(1.0)] == [4]
+
+
+# -- timeout batching ---------------------------------------------------------------
+
+
+def test_timeout_waits_then_fires_with_partial_batch():
+    policy = TimeoutBatchingPolicy(max_batch_size=8, batch_timeout_ms=5.0)
+    batcher = DynamicBatcher(policy)
+    batcher.enqueue(_request(0, arrival_ms=10.0))
+    batcher.enqueue(_request(1, arrival_ms=12.0))
+    assert batcher.poll(11.0) == []  # still accumulating
+    assert batcher.next_deadline_ms(11.0) == pytest.approx(15.0)
+    batch = batcher.poll(15.0)  # oldest waited exactly the timeout
+    assert [r.request_id for r in batch] == [0, 1]
+
+
+def test_timeout_fires_immediately_when_batch_fills_exactly():
+    policy = TimeoutBatchingPolicy(max_batch_size=3, batch_timeout_ms=1000.0)
+    batcher = DynamicBatcher(policy)
+    for rid in range(3):
+        batcher.enqueue(_request(rid, arrival_ms=0.0))
+    batch = batcher.poll(0.0)  # no timeout elapsed, but the batch is full
+    assert len(batch) == 3
+    assert len(batcher) == 0
+
+
+def test_timeout_keeps_excess_beyond_max_batch_size():
+    policy = TimeoutBatchingPolicy(max_batch_size=3, batch_timeout_ms=1000.0)
+    batcher = DynamicBatcher(policy)
+    for rid in range(4):
+        batcher.enqueue(_request(rid, arrival_ms=0.0))
+    assert len(batcher.poll(0.0)) == 3
+    assert len(batcher) == 1
+    assert batcher.poll(0.5) == []  # the leftover waits for its own timeout
+
+
+# -- SLO-aware shrinking ----------------------------------------------------------
+
+
+def test_slo_policy_behaves_like_timeout_before_any_observation():
+    policy = SLOAwarePolicy(max_batch_size=4, batch_timeout_ms=5.0, slo_ms=20.0)
+    queue = [_request(0, arrival_ms=0.0, slo_ms=20.0)]
+    assert policy.select_batch_size(queue, 1.0) == 0
+    assert policy.select_batch_size(queue, 5.0) == 1  # plain timeout fires
+
+
+def test_slo_policy_shrinks_batch_under_deadline_pressure():
+    estimator = ServiceTimeEstimator()
+    estimator.observe(batch_size=1, service_ms=4.0)  # 4 ms per request
+    policy = SLOAwarePolicy(
+        max_batch_size=8, batch_timeout_ms=100.0, slo_ms=20.0,
+        safety_factor=1.0, estimator=estimator,
+    )
+    queue = [_request(rid, arrival_ms=0.0, slo_ms=20.0) for rid in range(8)]
+    # Plenty of slack at t=0 for a full batch (8 * 4 = 32 > 20? no!) --
+    # slack 20 < est(8) 32, so pressure applies immediately: only
+    # floor(20 / 4) = 5 requests fit before the oldest deadline.
+    assert policy.select_batch_size(queue, 0.0) == 5
+    # Closer to the deadline the batch shrinks further.
+    assert policy.select_batch_size(queue, 10.0) == 2
+    # Once even one request cannot make it (slack 3 < 4), shrinking is
+    # pointless: fall back to throughput batching (full batch available).
+    assert policy.select_batch_size(queue, 17.0) == 8
+
+
+def test_slo_policy_with_comfortable_slack_keeps_batching():
+    estimator = ServiceTimeEstimator()
+    estimator.observe(batch_size=1, service_ms=1.0)
+    policy = SLOAwarePolicy(
+        max_batch_size=4, batch_timeout_ms=6.0, slo_ms=100.0,
+        safety_factor=1.0, estimator=estimator,
+    )
+    queue = [_request(0, arrival_ms=0.0, slo_ms=100.0)]
+    # est(1) = 1 ms << 100 ms slack: defer to timeout batching (not full yet).
+    assert policy.select_batch_size(queue, 1.0) == 0
+    queue = [_request(rid, arrival_ms=0.0, slo_ms=100.0) for rid in range(4)]
+    assert policy.select_batch_size(queue, 0.0) == 4  # full batch, no shrink
+
+
+def test_slo_policy_does_not_shed_when_deadline_is_hopeless():
+    """A missed deadline must not trigger a batch-of-one death spiral."""
+    estimator = ServiceTimeEstimator()
+    estimator.observe(batch_size=1, service_ms=4.0)
+    policy = SLOAwarePolicy(
+        max_batch_size=8, batch_timeout_ms=5.0, slo_ms=20.0,
+        safety_factor=1.0, estimator=estimator,
+    )
+    # The oldest request is already past its deadline: even a batch of one
+    # cannot make it, so the policy batches for throughput instead.
+    queue = [_request(rid, arrival_ms=0.0, slo_ms=20.0) for rid in range(8)]
+    assert policy.select_batch_size(queue, 25.0) == 8
+
+
+def test_slo_policy_deadline_tracks_pressure_start():
+    estimator = ServiceTimeEstimator()
+    estimator.observe(batch_size=2, service_ms=4.0)  # 2 ms per request
+    policy = SLOAwarePolicy(
+        max_batch_size=4, batch_timeout_ms=50.0, slo_ms=30.0,
+        safety_factor=1.0, estimator=estimator,
+    )
+    queue = [_request(0, arrival_ms=0.0, slo_ms=30.0)]
+    # Pressure starts when slack equals est(1) = 2 ms -> t = 28; the timeout
+    # deadline (t = 50) is later, so the policy wants waking at t = 28.
+    assert policy.next_deadline_ms(queue, 0.0) == pytest.approx(28.0)
+
+
+def test_service_time_estimator_smooths_observations():
+    estimator = ServiceTimeEstimator(alpha=0.5)
+    assert estimator.estimate(4) == 0.0
+    estimator.observe(batch_size=2, service_ms=8.0)   # 4 ms/request
+    assert estimator.per_request_ms == pytest.approx(4.0)
+    estimator.observe(batch_size=4, service_ms=8.0)   # 2 ms/request sample
+    assert estimator.per_request_ms == pytest.approx(3.0)
+    assert estimator.estimate(4) == pytest.approx(12.0)
+
+
+# -- force drain -------------------------------------------------------------------
+
+
+def test_force_pops_up_to_the_policy_cap():
+    batcher = DynamicBatcher(TimeoutBatchingPolicy(max_batch_size=3, batch_timeout_ms=1e9))
+    for rid in range(5):
+        batcher.enqueue(_request(rid, arrival_ms=0.0))
+    assert [r.request_id for r in batcher.force(0.0)] == [0, 1, 2]
+    assert [r.request_id for r in batcher.force(0.0)] == [3, 4]
+    assert batcher.force(0.0) == []

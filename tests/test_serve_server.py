@@ -1,0 +1,122 @@
+"""End-to-end serving runs on the simulated machine."""
+
+import pytest
+
+from repro.datasets import load
+from repro.hw import Machine
+from repro.models.jodie import JODIE, JODIEConfig
+from repro.models.tgat import TGAT, TGATConfig
+from repro.serve import (
+    InferenceServer,
+    PoissonProcess,
+    generate_requests,
+    make_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_wikipedia():
+    return load("wikipedia", scale="tiny")
+
+
+def _tgat(dataset, **overrides):
+    machine = Machine.cpu_gpu()
+    config = TGATConfig(num_neighbors=5, batch_size=8, **overrides)
+    with machine.activate():
+        return TGAT(machine, dataset, config)
+
+
+def _requests(dataset, rate, duration_ms=150.0, seed=3, slo_ms=50.0):
+    return generate_requests(
+        dataset.stream, PoissonProcess(rate, seed=seed),
+        duration_ms=duration_ms, events_per_request=1, slo_ms=slo_ms,
+    )
+
+
+def _serve(dataset, rate, overlap, policy_name="timeout", **request_kwargs):
+    model = _tgat(dataset)
+    policy = make_policy(policy_name, max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    server = InferenceServer(model, policy, overlap=overlap)
+    return server.serve(
+        _requests(dataset, rate, **request_kwargs), arrival_name="poisson"
+    )
+
+
+def test_server_completes_every_request_with_consistent_latencies(tiny_wikipedia):
+    report = _serve(tiny_wikipedia, rate=300.0, overlap=False)
+    assert report.offered > 0
+    assert report.completed == report.offered
+    for request in report.requests:
+        assert request.is_completed
+        assert request.queue_ms >= 0.0
+        assert request.service_ms > 0.0
+        assert request.total_ms == pytest.approx(request.queue_ms + request.service_ms)
+        assert 1 <= request.batch_size <= 8
+    assert report.duration_ms > 0.0
+    assert report.throughput_rps > 0.0
+    assert 0.0 < report.gpu_utilization < 1.0
+    assert 0.0 < report.cpu_utilization <= 1.0
+
+
+def test_server_report_summary_has_the_headline_columns(tiny_wikipedia):
+    report = _serve(tiny_wikipedia, rate=300.0, overlap=False)
+    row = report.summary()
+    for column in (
+        "policy", "arrival", "overlap", "offered", "completed", "throughput_rps",
+        "slo_violation_rate", "mean_batch_size", "gpu_utilization",
+        "p50_ms", "p95_ms", "p99_ms", "queue_p99_ms", "service_p99_ms",
+    ):
+        assert column in row, column
+
+
+def test_overlap_beats_blocking_on_p99_under_load(tiny_wikipedia):
+    """The acceptance property: same arrival sequence, strictly lower p99."""
+    blocking = _serve(tiny_wikipedia, rate=1600.0, overlap=False, duration_ms=200.0)
+    overlapped = _serve(tiny_wikipedia, rate=1600.0, overlap=True, duration_ms=200.0)
+    assert blocking.offered == overlapped.offered  # identical workload
+    assert overlapped.total_latency().p99_ms < blocking.total_latency().p99_ms
+    assert overlapped.throughput_rps >= blocking.throughput_rps
+
+
+def test_overlap_requires_the_overlap_protocol(tiny_wikipedia):
+    machine = Machine.cpu_gpu()
+    with machine.activate():
+        jodie = JODIE(machine, tiny_wikipedia, JODIEConfig())
+    with pytest.raises(TypeError, match="overlap protocol"):
+        InferenceServer(jodie, make_policy("fifo"), overlap=True)
+
+
+def test_non_event_stream_models_fail_with_a_clear_error(tiny_wikipedia):
+    machine = Machine.cpu_gpu()
+    with machine.activate():
+        jodie = JODIE(machine, tiny_wikipedia, JODIEConfig())
+    server = InferenceServer(jodie, make_policy("fifo"), overlap=False)
+    with pytest.raises(TypeError, match="make_request_batch"):
+        server.serve(_requests(tiny_wikipedia, rate=200.0))
+
+
+def test_empty_workload_returns_an_empty_report(tiny_wikipedia):
+    model = _tgat(tiny_wikipedia)
+    server = InferenceServer(model, make_policy("fifo"))
+    report = server.serve([], arrival_name="poisson")
+    assert report.offered == 0
+    assert report.completed == 0
+    assert report.throughput_rps == 0.0
+
+
+def test_slo_violations_are_counted(tiny_wikipedia):
+    # A 1 ms SLO is unmeetable (service alone exceeds it): every request counts.
+    report = _serve(
+        tiny_wikipedia, rate=300.0, overlap=False, slo_ms=1.0, duration_ms=80.0
+    )
+    assert report.completed > 0
+    assert report.slo_violation_rate == 1.0
+
+
+def test_server_runs_are_reproducible(tiny_wikipedia):
+    first = _serve(tiny_wikipedia, rate=500.0, overlap=False, duration_ms=120.0)
+    second = _serve(tiny_wikipedia, rate=500.0, overlap=False, duration_ms=120.0)
+    assert first.summary() == second.summary()
+    assert [r.completed_ms for r in first.requests] == [
+        r.completed_ms for r in second.requests
+    ]

@@ -1,0 +1,103 @@
+"""Workload generators: arrival processes and request generation."""
+
+import pytest
+
+from repro.datasets import load
+from repro.serve import (
+    BurstyProcess,
+    PoissonProcess,
+    TraceReplay,
+    generate_requests,
+    make_arrival_process,
+)
+
+
+def _times(process, duration_ms=2000.0):
+    return list(process.arrival_times_ms(duration_ms))
+
+
+def test_poisson_is_reproducible_from_seed():
+    a = _times(PoissonProcess(200.0, seed=11))
+    b = _times(PoissonProcess(200.0, seed=11))
+    c = _times(PoissonProcess(200.0, seed=12))
+    assert a == b
+    assert a != c
+    assert all(0.0 <= t < 2000.0 for t in a)
+    assert a == sorted(a)
+
+
+def test_poisson_mean_rate_is_close_to_target():
+    times = list(PoissonProcess(500.0, seed=0).arrival_times_ms(20000.0))
+    observed_rate = len(times) / 20.0
+    assert observed_rate == pytest.approx(500.0, rel=0.1)
+
+
+def test_bursty_preserves_long_run_mean_rate():
+    times = list(BurstyProcess(500.0, seed=1).arrival_times_ms(60000.0))
+    observed_rate = len(times) / 60.0
+    assert observed_rate == pytest.approx(500.0, rel=0.15)
+
+
+def test_bursty_is_actually_bursty():
+    """Inter-arrival gaps should be far more variable than Poisson's."""
+    import statistics
+
+    def squared_cv(process):
+        times = _times(process, duration_ms=30000.0)
+        gaps = [b - a for a, b in zip(times[:-1], times[1:])]
+        mean = statistics.mean(gaps)
+        return statistics.pvariance(gaps) / (mean * mean)
+
+    # Poisson gaps have CV^2 ~= 1; on/off modulation pushes it well above.
+    assert squared_cv(BurstyProcess(300.0, seed=2)) > 1.5 * squared_cv(
+        PoissonProcess(300.0, seed=2)
+    )
+
+
+def test_trace_replay_is_deterministic_and_rescaled():
+    trace = [0.0, 1.0, 3.0, 6.0, 10.0]
+    a = _times(TraceReplay(100.0, trace, seed=0), duration_ms=500.0)
+    b = _times(TraceReplay(100.0, trace, seed=99), duration_ms=500.0)
+    assert a == b  # no randomness consumed
+    gaps = [y - x for x, y in zip(([0.0] + a)[:-1], a)]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(10.0, rel=0.2)  # 100 req/s -> 10 ms gaps
+
+
+def test_make_arrival_process_registry():
+    assert isinstance(make_arrival_process("poisson", 10.0), PoissonProcess)
+    assert isinstance(make_arrival_process("bursty", 10.0), BurstyProcess)
+    assert isinstance(
+        make_arrival_process("trace", 10.0, trace_timestamps=[0.0, 1.0, 2.0]),
+        TraceReplay,
+    )
+    with pytest.raises(KeyError):
+        make_arrival_process("uniform", 10.0)
+    with pytest.raises(ValueError):
+        make_arrival_process("trace", 10.0)  # missing trace
+
+
+def test_generate_requests_slices_the_stream_in_order():
+    stream = load("wikipedia", scale="tiny").stream
+    requests = generate_requests(
+        stream, PoissonProcess(400.0, seed=3), duration_ms=300.0,
+        events_per_request=2, slo_ms=25.0,
+    )
+    assert requests
+    for index, request in enumerate(requests):
+        assert request.request_id == index
+        assert request.num_events == 2
+        assert request.slo_ms == 25.0
+        assert request.deadline_ms == pytest.approx(request.arrival_ms + 25.0)
+    # Payloads are consecutive slices: concatenating any prefix stays sorted.
+    firsts = [float(r.payload.timestamps[0]) for r in requests]
+    assert firsts == sorted(firsts)
+
+
+def test_generate_requests_never_outruns_the_stream():
+    stream = load("wikipedia", scale="tiny").stream
+    requests = generate_requests(
+        stream, PoissonProcess(100000.0, seed=0), duration_ms=100000.0,
+        events_per_request=3,
+    )
+    assert len(requests) == stream.num_events // 3
