@@ -30,15 +30,21 @@ from . import __version__
 from .core import Profiler, analyze_profile, compute_breakdown
 from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
-from .hw import Machine
+from .graph.partition import available_partitioners, make_partition
+from .hw import Machine, available_machine_specs
 from .models import available_models, build_model
 from .serve import (
     InferenceServer,
+    ScaleOutServer,
+    ShardedModel,
     available_arrivals,
     available_policies,
+    available_routers,
+    build_replicas,
     generate_requests,
     make_arrival_process,
     make_policy,
+    make_router,
 )
 
 
@@ -160,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="event-stream slice size each request carries")
     srv.add_argument("--seed", type=int, default=0,
                      help="seed for the arrival process (runs are reproducible)")
+    srv.add_argument("--topology", default="1xA6000", choices=available_machine_specs(),
+                     help="machine topology preset to serve on")
+    srv.add_argument("--gpus", type=int, default=None,
+                     help="number of the topology's GPUs to use "
+                          "(default: all of them)")
+    srv.add_argument("--placement", default="single",
+                     choices=("single", "replicate", "shard"),
+                     help="scale-out placement: one model on GPU 0, one "
+                          "replica per GPU behind a router, or a graph-"
+                          "sharded model spanning the GPUs")
+    srv.add_argument("--router", default="round-robin", choices=available_routers(),
+                     help="batch router for --placement replicate")
+    srv.add_argument("--partitioner", default="degree", choices=available_partitioners(),
+                     help="node partitioner for --placement shard")
     srv.add_argument(
         "--overlap", action=argparse.BooleanOptionalAction, default=False,
         help="serve with the stream-based sampling/compute overlap scheduler "
@@ -271,18 +291,56 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
-    machine = Machine.cpu_gpu()
+    machine = Machine.from_spec(args.topology)
+    gpus = list(machine.gpus)
+    if args.gpus is not None:
+        if args.gpus < 1 or args.gpus > len(gpus):
+            print(
+                f"error: --gpus must be in [1, {len(gpus)}] for topology "
+                f"{args.topology!r}",
+                file=sys.stderr,
+            )
+            return 2
+        gpus = gpus[: args.gpus]
+    if args.placement == "single" and args.gpus is not None:
+        print(
+            "error: --gpus only applies to --placement replicate/shard; "
+            "single-model serving always runs on GPU 0",
+            file=sys.stderr,
+        )
+        return 2
+    if args.placement != "single":
+        if args.overlap:
+            print(
+                "error: --overlap applies to single-model serving; "
+                "replicated dispatch already overlaps sampling and compute",
+                file=sys.stderr,
+            )
+            return 2
+        if not gpus:
+            print(
+                f"error: --placement {args.placement} needs a GPU topology",
+                file=sys.stderr,
+            )
+            return 2
     try:
         with machine.activate():
             dataset = load(args.dataset, scale=args.scale) if args.dataset else None
-            model = build_model(
-                args.model, machine, dataset=dataset, scale=args.scale, **overrides
-            )
+
+            def factory():
+                return build_model(
+                    args.model, machine, dataset=dataset, scale=args.scale, **overrides
+                )
+
+            if args.placement == "single":
+                models = [factory()]
+            else:
+                models = build_replicas(machine, factory, gpus)
     except (KeyError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if dataset is None:
-        dataset = getattr(model, "dataset", None)
+        dataset = getattr(models[0], "dataset", None)
     stream = getattr(dataset, "stream", None)
     if stream is None:
         print(f"error: {args.model} exposes no event stream to serve", file=sys.stderr)
@@ -300,10 +358,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.policy, max_batch_size=args.max_batch_size,
             batch_timeout_ms=args.batch_timeout_ms, slo_ms=args.slo_ms,
         )
-        server = InferenceServer(model, policy, overlap=args.overlap)
-        report = server.serve(
-            requests, label=f"{args.model}-serve", arrival_name=args.arrival
-        )
+        label = f"{args.model}-serve-{args.placement}"
+        if args.placement == "replicate":
+            router = make_router(args.router, len(models))
+            scale_server = ScaleOutServer(models, policy, router)
+            report = scale_server.serve(
+                requests, label=label, arrival_name=args.arrival
+            )
+        elif args.placement == "shard":
+            partition = make_partition(
+                args.partitioner, stream, len(models), seed=args.seed
+            )
+            sharded = ShardedModel(models, partition)
+            server = InferenceServer(sharded, policy, overlap=False)
+            report = server.serve(requests, label=label, arrival_name=args.arrival)
+        else:
+            server = InferenceServer(models[0], policy, overlap=args.overlap)
+            report = server.serve(requests, label=label, arrival_name=args.arrival)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -89,6 +89,10 @@ class Profile:
     link_name: str
     label: str = ""
     link_streams: Tuple[StreamSnapshot, ...] = ()
+    #: Per-link stream snapshots for *every* topology link (multi-GPU
+    #: machines have one host link per GPU plus optional peer links);
+    #: ``link_streams`` remains the primary link's snapshot tuple.
+    all_links: Tuple[Tuple[str, Tuple[StreamSnapshot, ...]], ...] = ()
 
     # -- basic views ---------------------------------------------------------
 
@@ -126,12 +130,15 @@ class Profile:
     # -- per-stream views -----------------------------------------------------
 
     def stream_snapshots(self, name_or_kind: str) -> Tuple[StreamSnapshot, ...]:
-        """Per-stream statistics of one device (or the link by its name)."""
+        """Per-stream statistics of one device (or any link by its name)."""
         snapshot = self.device(name_or_kind)
         if snapshot is not None:
             return snapshot.streams
         if name_or_kind == self.link_name:
             return self.link_streams
+        for link_name, streams in self.all_links:
+            if link_name == name_or_kind:
+                return streams
         return ()
 
     def stream_busy_ms(self, name_or_kind: str, stream: str) -> float:
@@ -154,21 +161,41 @@ class Profile:
         return snapshot.busy_ms if snapshot else 0.0
 
     def gpu_utilization(self, include_warmup: bool = False) -> float:
-        """Average GPU busy fraction over the window.
+        """Average busy fraction of the *first* GPU over the window.
 
         Warm-up intervals are excluded by default so the number reflects the
         steady-state utilization the paper reports (a few percent for most
-        DGNNs).
+        DGNNs).  On a multi-GPU machine this reports GPU 0 (the seed's "the
+        GPU"); name other devices explicitly via :meth:`device_utilization`.
         """
         gpu = self.device("gpu")
         if gpu is None or self.elapsed_ms <= 0:
             return 0.0
-        busy = gpu.busy_ms
+        return self.device_utilization(gpu.name, include_warmup=include_warmup)
+
+    def device_utilization(self, name: str, include_warmup: bool = False) -> float:
+        """Busy fraction of one explicitly named device over the window."""
+        snapshot = self.device(name)
+        if snapshot is None or self.elapsed_ms <= 0:
+            return 0.0
+        busy = snapshot.busy_ms
         if not include_warmup:
             busy -= sum(
-                e.duration_ms for e in self.warmup_events if e.resource == gpu.name
+                e.duration_ms
+                for e in self.warmup_events
+                if e.resource == snapshot.name
             )
         return max(0.0, min(1.0, busy / self.elapsed_ms))
+
+    def per_gpu_utilization(self, include_warmup: bool = False) -> Dict[str, float]:
+        """Busy fraction of every GPU, keyed by device name."""
+        return {
+            snapshot.name: self.device_utilization(
+                snapshot.name, include_warmup=include_warmup
+            )
+            for snapshot in self.devices
+            if snapshot.kind == "gpu"
+        }
 
     def gpu_compute_efficiency(self) -> float:
         """Achieved fraction of GPU peak FLOP/s over the window."""
@@ -280,7 +307,10 @@ class Profiler:
         start_stream_busy = {
             d.name: d.per_stream_busy_ms() for d in machine.devices
         }
-        start_link_busy = machine.link.per_stream_busy_ms()
+        links = getattr(machine, "links", (machine.link,))
+        start_link_busy = {
+            link.name: link.per_stream_busy_ms() for link in links
+        }
         # O(1) snapshot of the machine's running per-device FLOP counters
         # (the profiler used to rescan the whole event log here, which made
         # repeated captures O(n^2) across a run).
@@ -322,22 +352,31 @@ class Profiler:
                         ),
                     )
                 )
+            all_links = tuple(
+                (
+                    link.name,
+                    self._stream_snapshots(
+                        link.name,
+                        link.per_stream_busy_ms(),
+                        start_link_busy.get(link.name, {}),
+                        start_ms,
+                        end_ms,
+                        events,
+                    ),
+                )
+                for link in links
+            )
+            primary = machine.link.name
             self.profiles.append(
                 Profile(
                     start_ms=start_ms,
                     end_ms=end_ms,
                     events=events,
                     devices=tuple(devices),
-                    link_name=machine.link.name,
+                    link_name=primary,
                     label=label,
-                    link_streams=self._stream_snapshots(
-                        machine.link.name,
-                        machine.link.per_stream_busy_ms(),
-                        start_link_busy,
-                        start_ms,
-                        end_ms,
-                        events,
-                    ),
+                    link_streams=dict(all_links).get(primary, ()),
+                    all_links=all_links,
                 )
             )
 

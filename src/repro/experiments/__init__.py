@@ -11,6 +11,7 @@ from . import (
     fig8,
     fig9,
     overlap_exec,
+    scaling,
     serving,
     table1,
     table2,
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
     "overlap_exec": overlap_exec.run,
+    "scaling": scaling.run,
     "serving": serving.run,
 }
 
@@ -90,6 +92,7 @@ __all__ = [
     "profile_iterations",
     "profile_single_iteration",
     "run_experiment",
+    "scaling",
     "serving",
     "table1",
     "table2",

@@ -108,6 +108,22 @@ class EventStream:
             num_nodes=self.num_nodes,
         )
 
+    def select(self, positions: np.ndarray) -> "EventStream":
+        """Sub-stream of the events at the given ascending positions.
+
+        Used by the sharded serving layer to pull one shard's events out of
+        a batch; ascending positions keep the slice time-sorted, which the
+        constructor then re-validates.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        return EventStream(
+            self.src[positions],
+            self.dst[positions],
+            self.timestamps[positions],
+            self.edge_features[positions],
+            num_nodes=self.num_nodes,
+        )
+
     def before(self, timestamp: float) -> "EventStream":
         """Events strictly earlier than ``timestamp``."""
         cutoff = int(np.searchsorted(self.timestamps, timestamp, side="left"))

@@ -22,23 +22,33 @@ from .stream import (
     union_busy_ms,
 )
 from .spec import (
+    A100_SXM,
     DEFAULT_WARMUP,
+    MACHINE_SPECS,
+    NVLINK3,
     PCIE_GEN4,
     RTX_A6000,
     XEON_6226R,
     DeviceSpec,
     LinkSpec,
+    MachineSpec,
     WarmupSpec,
+    available_machine_specs,
+    machine_spec,
 )
 from .timeline import Interval, Timeline
+from .topology import Hop, Topology
 
 __all__ = [
+    "A100_SXM",
     "ALLOC",
     "COPY_STREAM",
     "DEFAULT_STREAM",
     "FREE",
     "KERNEL",
+    "MACHINE_SPECS",
     "MARKER",
+    "NVLINK3",
     "SYNC",
     "TRANSFER",
     "WARMUP",
@@ -48,11 +58,13 @@ __all__ = [
     "DeviceSpec",
     "Event",
     "EventLog",
+    "Hop",
     "Interval",
     "KernelCost",
     "Link",
     "LinkSpec",
     "Machine",
+    "MachineSpec",
     "MemoryPool",
     "NoActiveMachineError",
     "OutOfMemoryError",
@@ -62,9 +74,12 @@ __all__ = [
     "StreamEvent",
     "StreamSet",
     "Timeline",
+    "Topology",
     "WarmupSpec",
     "XEON_6226R",
+    "available_machine_specs",
     "current_machine",
     "has_active_machine",
+    "machine_spec",
     "union_busy_ms",
 ]

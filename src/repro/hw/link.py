@@ -32,6 +32,7 @@ class Link:
         self.streams = StreamSet(spec.name)
         self._bytes_h2d = 0
         self._bytes_d2h = 0
+        self._bytes_p2p = 0
         self._transfers = 0
 
     @property
@@ -73,11 +74,12 @@ class Link:
         Args:
             ready_ms: Earliest time the transfer may start.
             nbytes: Payload size in bytes.
-            direction: ``"h2d"`` or ``"d2h"``.
+            direction: ``"h2d"``, ``"d2h"`` or -- on GPU<->GPU peer links --
+                ``"p2p"``.
             label: Event label for the timeline.
             stream: Transfer stream to queue on (default stream if omitted).
         """
-        if direction not in ("h2d", "d2h"):
+        if direction not in ("h2d", "d2h", "p2p"):
             raise ValueError(f"unknown transfer direction: {direction!r}")
         target = stream if stream is not None else self.streams.default
         if target.resource != self.name:
@@ -89,8 +91,10 @@ class Link:
         interval = target.reserve(ready_ms, duration, label)
         if direction == "h2d":
             self._bytes_h2d += nbytes
-        else:
+        elif direction == "d2h":
             self._bytes_d2h += nbytes
+        else:
+            self._bytes_p2p += nbytes
         self._transfers += 1
         return interval
 
@@ -105,8 +109,12 @@ class Link:
         return self._bytes_d2h
 
     @property
+    def bytes_p2p(self) -> int:
+        return self._bytes_p2p
+
+    @property
     def total_bytes(self) -> int:
-        return self._bytes_h2d + self._bytes_d2h
+        return self._bytes_h2d + self._bytes_d2h + self._bytes_p2p
 
     @property
     def transfer_count(self) -> int:

@@ -1,4 +1,4 @@
-"""The simulated machine: host CPU, optional GPU, and the link between them.
+"""The simulated machine: host CPU, its GPUs, and the links connecting them.
 
 The :class:`Machine` is the execution context every other layer talks to.
 Tensor operators (:mod:`repro.tensor`) ask it to launch kernels and schedule
@@ -49,6 +49,32 @@ Scheduling semantics (CUDA-style streams over an analytic cost model):
 A program that only ever touches default streams reproduces the seed's
 serialized single-queue scheduling *exactly*; all stream machinery is opt-in.
 
+Multi-GPU topologies (see :class:`~repro.hw.spec.MachineSpec` and
+:class:`~repro.hw.topology.Topology`) generalize the single host+GPU+link
+shape without changing any of the above:
+
+* A machine may own several identical GPUs (``num_gpus`` in the spec, or
+  presets such as ``"4xA100-pcie"``).  Each GPU is an independent resource
+  with its own streams, memory pool and warm-up state; kernels launched on
+  different GPUs overlap freely in simulated time, while the *one* host
+  thread still serializes all dispatch -- exactly the bottleneck structure of
+  a real data-parallel inference server driven by a single Python process.
+* Each GPU gets its **own host link** (PCIe), each with default and copy
+  streams, so blocking copies to GPU 0 do not occupy GPU 1's channel.  With
+  one GPU the link keeps the seed's name and the event log is byte-identical.
+* GPU<->GPU transfers take the direct **peer link** (NVLink presets) when the
+  topology has one, appearing as a single ``p2p`` transfer; on PCIe-only
+  topologies they are *staged* through the two host links (a ``d2h`` hop on
+  the source's link, then an ``h2d`` hop on the destination's), costing two
+  serialized transfers -- the reason graph sharding on PCIe boxes amplifies
+  the paper's data-movement bottleneck instead of hiding it.
+* Warm-up is per GPU: each device pays its own context creation and weight
+  upload the first time work lands on it.
+* ``synchronize()`` joins every stream on every device and every link;
+  :meth:`device_synchronize` joins the streams of a single device, which is
+  what lets a serving loop retire one replica's batch without draining the
+  other replicas' queues.
+
 Online serving (:mod:`repro.serve`) drives the host-time cursor in a third
 way: besides advancing through issued work, the serving loop calls
 :meth:`advance_host` to *fast-forward* the cursor to the next actionable
@@ -67,7 +93,8 @@ blocking execution.
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from dataclasses import replace as _spec_replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .device import Device
 from .events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP, Event, EventLog
@@ -79,9 +106,12 @@ from .spec import (
     XEON_6226R,
     DeviceSpec,
     LinkSpec,
+    MachineSpec,
     WarmupSpec,
+    machine_spec,
 )
 from .stream import COPY_STREAM, Stream, StreamEvent
+from .topology import Topology
 
 _ACTIVE_MACHINE: List["Machine"] = []
 
@@ -104,7 +134,7 @@ def has_active_machine() -> bool:
 
 
 class Machine:
-    """A host CPU, an optional GPU, and the PCIe link connecting them."""
+    """A host CPU, its GPU complement, and the links connecting them."""
 
     def __init__(
         self,
@@ -113,17 +143,35 @@ class Machine:
         link_spec: LinkSpec = PCIE_GEN4,
         warmup_spec: WarmupSpec = DEFAULT_WARMUP,
         strict_memory: bool = False,
+        num_gpus: int = 1,
+        peer_link_spec: Optional[LinkSpec] = None,
     ) -> None:
+        if gpu_spec is None:
+            num_gpus = 0
+        elif num_gpus < 1:
+            raise ValueError("a GPU machine needs num_gpus >= 1")
         self.cpu = Device(cpu_spec, strict_memory=strict_memory)
-        self.gpu: Optional[Device] = (
-            Device(gpu_spec, strict_memory=strict_memory) if gpu_spec is not None else None
+        gpus: List[Device] = []
+        for index in range(num_gpus):
+            spec = (
+                gpu_spec
+                if num_gpus == 1
+                else _spec_replace(gpu_spec, name=f"{gpu_spec.name}:{index}")
+            )
+            gpus.append(Device(spec, strict_memory=strict_memory))
+        self.gpus: Tuple[Device, ...] = tuple(gpus)
+        self.topology = Topology(
+            self.cpu, self.gpus, link_spec, peer_link_spec=peer_link_spec
         )
-        self.link = Link(link_spec)
         self.warmup_spec = warmup_spec
         self.events = EventLog()
         self._host_time = 0.0
         self._region_stack: List[str] = []
-        self._gpu_context_ready = False
+        #: Names of GPUs whose context has been created (warm-up is per GPU).
+        self._ready_gpus: set = set()
+        #: Device the :attr:`compute_device` property currently resolves to
+        #: (see :meth:`placement`); ``None`` means "first GPU, else CPU".
+        self._placement_override: Optional[Device] = None
         #: Per-resource current-stream overrides (see :meth:`use_stream`).
         self._current_streams: Dict[str, Stream] = {}
         #: Running per-device FLOP totals, updated on every kernel launch so
@@ -147,11 +195,41 @@ class Machine:
         """The paper's default Xeon 6226R + RTX A6000 configuration."""
         return cls(cpu_spec=cpu_spec, gpu_spec=gpu_spec, **kwargs)
 
+    @classmethod
+    def from_spec(
+        cls, spec: Union[str, MachineSpec], strict_memory: bool = False
+    ) -> "Machine":
+        """Build a machine from a :class:`~repro.hw.spec.MachineSpec` preset.
+
+        ``spec`` may be a preset name (``"1xA6000"``, ``"4xA100-nvlink"``,
+        ...) or a spec instance.  ``Machine.from_spec("1xA6000")`` is
+        byte-identical to ``Machine.cpu_gpu()``.
+        """
+        resolved = machine_spec(spec)
+        return cls(
+            cpu_spec=resolved.cpu,
+            gpu_spec=resolved.gpu,
+            link_spec=resolved.host_link,
+            warmup_spec=resolved.warmup,
+            strict_memory=strict_memory,
+            num_gpus=max(resolved.num_gpus, 1) if resolved.gpu is not None else 0,
+            peer_link_spec=resolved.peer_link,
+        )
+
     # -- device selection -----------------------------------------------
 
     @property
     def has_gpu(self) -> bool:
-        return self.gpu is not None
+        return bool(self.gpus)
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def gpu(self) -> Optional[Device]:
+        """The first GPU (the seed's "the GPU"), or ``None`` on CPU-only."""
+        return self.gpus[0] if self.gpus else None
 
     @property
     def host_device(self) -> Device:
@@ -160,20 +238,67 @@ class Machine:
 
     @property
     def compute_device(self) -> Device:
-        """The preferred device for model compute: the GPU when present."""
-        return self.gpu if self.gpu is not None else self.cpu
+        """The preferred device for model compute.
+
+        By default the first GPU (the CPU when there is none); inside a
+        :meth:`placement` context, the pinned device.  Models capture this at
+        construction time, so replicas built under different placements keep
+        computing on their own GPUs afterwards.
+        """
+        if self._placement_override is not None:
+            return self._placement_override
+        return self.gpus[0] if self.gpus else self.cpu
+
+    @contextlib.contextmanager
+    def placement(self, device: Union[Device, str]) -> Iterator[Device]:
+        """Pin :attr:`compute_device` to ``device`` for the duration.
+
+        The multi-GPU serving layer builds each model replica inside
+        ``with machine.placement(machine.gpus[i]):`` so the replica's weights
+        and kernels land on GPU ``i`` without every model constructor growing
+        a device argument.
+        """
+        if isinstance(device, str):
+            device = self.device(device)
+        previous = self._placement_override
+        self._placement_override = device
+        try:
+            yield device
+        finally:
+            self._placement_override = previous
 
     def device(self, name: str) -> Device:
-        """Look a device up by name or kind (``"cpu"``/``"gpu"``)."""
+        """Look a device up by name or kind (``"cpu"``/``"gpu"``/``"gpu:i"``)."""
         if name in (self.cpu.name, "cpu"):
             return self.cpu
-        if self.gpu is not None and name in (self.gpu.name, "gpu"):
-            return self.gpu
+        if self.gpus:
+            if name == "gpu":
+                return self.gpus[0]
+            if name.startswith("gpu:"):
+                try:
+                    return self.gpus[int(name.split(":", 1)[1])]
+                except (ValueError, IndexError):
+                    raise KeyError(f"unknown device {name!r} on this machine") from None
+            for gpu in self.gpus:
+                if name == gpu.name:
+                    return gpu
         raise KeyError(f"unknown device {name!r} on this machine")
 
     @property
     def devices(self) -> Sequence[Device]:
-        return (self.cpu,) if self.gpu is None else (self.cpu, self.gpu)
+        return (self.cpu, *self.gpus)
+
+    # -- links ------------------------------------------------------------
+
+    @property
+    def link(self) -> Link:
+        """The primary host<->GPU link (the seed's single PCIe link)."""
+        return self.topology.primary_link
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """Every link of the topology (host links, then peer links)."""
+        return self.topology.links
 
     # -- streams ---------------------------------------------------------
 
@@ -194,19 +319,23 @@ class Machine:
 
     @property
     def copy_stream(self) -> Stream:
-        """The dedicated link stream used by non-blocking transfers."""
+        """The primary link's dedicated copy stream.
+
+        Non-blocking transfers queue on the *routed* link's copy stream, so
+        on a multi-GPU machine each host link (and each peer link) has its
+        own copy engine; this property keeps naming the single-GPU one.
+        """
         return self.link.stream(COPY_STREAM)
 
     def current_stream(self, resource: Union[Device, Link, str]) -> Stream:
         """The stream work is currently issued onto for ``resource``.
 
-        ``resource`` may be a :class:`Device`, the :class:`Link`, a device
-        name/kind, or the link's name.
+        ``resource`` may be a :class:`Device`, a :class:`Link`, a device
+        name/kind, or any link's name.
         """
         if isinstance(resource, str):
-            resource = (
-                self.link if resource == self.link.name else self.device(resource)
-            )
+            link = self.topology.link_named(resource)
+            resource = link if link is not None else self.device(resource)
         override = self._current_streams.get(resource.name)
         return override if override is not None else resource.default_stream
 
@@ -326,8 +455,8 @@ class Machine:
         target = stream if stream is not None else self.current_stream(device)
         cost = device.kernel_cost(flops, bytes_moved)
         if device.is_gpu:
-            if not self._gpu_context_ready:
-                self.initialize_gpu(model_bytes=0)
+            if device.name not in self._ready_gpus:
+                self.initialize_gpu(model_bytes=0, device=device)
             self._host_time += device.spec.host_overhead_us * 1e-3
             interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
         elif target.is_default:
@@ -389,20 +518,35 @@ class Machine:
         non_blocking: bool = False,
         stream: Optional[Stream] = None,
         after: Optional[StreamEvent] = None,
+        wait_for_source: bool = True,
     ) -> Event:
-        """Move ``nbytes`` between devices over the link.
+        """Move ``nbytes`` between devices over the topology's links.
 
-        Blocking transfers (the default) occupy the link's default stream and
-        advance the host cursor to completion, mirroring unpinned-memory
-        copies in PyTorch.  With ``non_blocking=True`` the copy queues on the
-        machine's dedicated :attr:`copy_stream` (pinned-memory semantics) and
-        the host pays only the issue overhead; use :meth:`record_event` on
-        the copy stream plus :meth:`wait_event` / :meth:`event_synchronize`
-        to order consumers after the copy.
+        The route is resolved by the :class:`~repro.hw.topology.Topology`:
+        host<->GPU copies occupy that GPU's host link; GPU<->GPU copies take
+        the direct peer link when the topology has one (a single ``p2p``
+        transfer) and otherwise *stage* through the two host links (``d2h``
+        then ``h2d``, serialized), emitting one event per hop and returning
+        the final one.
 
-        The payload must exist before it can be copied, so the transfer never
-        starts before the *current stream* of the source device has drained;
-        an explicit ``after`` event adds a further dependency.
+        Blocking transfers (the default) occupy each routed link's default
+        stream and advance the host cursor to completion, mirroring
+        unpinned-memory copies in PyTorch.  With ``non_blocking=True`` the
+        copy queues on the routed link's dedicated copy stream (pinned-memory
+        semantics) and the host pays only the issue overhead; use
+        :meth:`record_event` on that stream plus :meth:`wait_event` /
+        :meth:`event_synchronize` to order consumers after the copy.
+
+        The payload must exist before it can be copied, so by default the
+        transfer never starts before the *current stream* of the source
+        device has drained; an explicit ``after`` event adds a further
+        dependency.  Pass ``wait_for_source=False`` when the payload is
+        known to be resident already (e.g. a warm feature table fetched
+        from a peer GPU) so the copy does not serialize behind unrelated
+        compute queued on the source device.
+
+        An explicit ``stream`` is only valid for single-hop routes (it names
+        one link's queue, and a staged route crosses two links).
 
         Transfers between a device and itself are invalid.
         """
@@ -410,42 +554,63 @@ class Machine:
             raise ValueError("transfer requires two distinct devices")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        direction = "h2d" if dst.is_gpu else "d2h"
-        if (src.is_gpu or dst.is_gpu) and not self._gpu_context_ready:
-            self.initialize_gpu(model_bytes=0)
-        target = stream
-        if target is None:
-            # A use_stream() context naming a link stream takes precedence;
-            # otherwise non-blocking copies take the dedicated copy stream and
-            # blocking copies serialize on the link's default stream.
-            override = self._current_streams.get(self.link.name)
-            if override is not None:
-                target = override
-            else:
-                target = self.copy_stream if non_blocking else self.link.default_stream
+        hops = self.topology.route(src, dst)
+        for hop_device in (src, dst):
+            if hop_device.is_gpu and hop_device.name not in self._ready_gpus:
+                self.initialize_gpu(model_bytes=0, device=hop_device)
+        if stream is not None and len(hops) > 1:
+            raise ValueError(
+                f"transfer {src.name!r}->{dst.name!r} stages through "
+                f"{len(hops)} links; an explicit stream is ambiguous"
+            )
         # The payload must exist before it can be copied: wait for the
         # producing stream to finish its queued work.
-        ready = max(self._host_time, self.current_stream(src).free_at)
+        ready = self._host_time
+        if wait_for_source:
+            ready = max(ready, self.current_stream(src).free_at)
         if after is not None:
             ready = max(ready, after.ready_ms)
-        interval = self.link.schedule(ready, nbytes, direction, name, stream=target)
-        if non_blocking:
-            self._host_time += self.link.spec.host_overhead_us * 1e-3
-        else:
-            self._host_time = interval.end_ms
-        event = Event(
-            kind=TRANSFER,
-            name=name,
-            resource=self.link.name,
-            start_ms=interval.start_ms,
-            end_ms=interval.end_ms,
-            bytes=nbytes,
-            region=self.current_region,
-            src=src.name,
-            dst=dst.name,
-            stream=target.name,
-        )
-        self.events.append(event)
+        event: Optional[Event] = None
+        for hop in hops:
+            target = stream
+            if target is None:
+                # A use_stream() context naming this link's stream takes
+                # precedence; otherwise non-blocking copies take the link's
+                # dedicated copy stream and blocking copies serialize on the
+                # link's default stream.
+                override = self._current_streams.get(hop.link.name)
+                if override is not None:
+                    target = override
+                else:
+                    target = (
+                        hop.link.stream(COPY_STREAM)
+                        if non_blocking
+                        else hop.link.default_stream
+                    )
+            interval = hop.link.schedule(
+                ready, nbytes, hop.direction, name, stream=target
+            )
+            if non_blocking:
+                self._host_time += hop.link.spec.host_overhead_us * 1e-3
+            else:
+                self._host_time = interval.end_ms
+            event = Event(
+                kind=TRANSFER,
+                name=name,
+                resource=hop.link.name,
+                start_ms=interval.start_ms,
+                end_ms=interval.end_ms,
+                bytes=nbytes,
+                region=self.current_region,
+                src=src.name,
+                dst=dst.name,
+                stream=target.name,
+            )
+            self.events.append(event)
+            # A staged route's second hop cannot start before the first
+            # hop's copy has landed in host memory.
+            ready = interval.end_ms
+        assert event is not None
         return event
 
     # -- synchronisation ------------------------------------------------------
@@ -454,13 +619,36 @@ class Machine:
         """Block the host until all queued work on all streams has completed."""
         start = self._host_time
         pending = max((d.free_at for d in self.devices), default=start)
-        pending = max(pending, self.link.free_at)
+        pending = max(pending, self.topology.free_at)
         end = max(start, pending)
         self._host_time = end
         event = Event(
             kind=SYNC,
             name=name,
             resource=self.cpu.name,
+            start_ms=start,
+            end_ms=end,
+            region=self.current_region,
+        )
+        self.events.append(event)
+        return event
+
+    def device_synchronize(self, device: Union[Device, str], name: str = "device_sync") -> Event:
+        """Block the host until one device's streams have all drained.
+
+        The multi-GPU analogue of ``torch.cuda.synchronize(device)``: a
+        serving loop can retire one replica's batch without joining the other
+        GPUs' queues (which :meth:`synchronize` would).
+        """
+        if isinstance(device, str):
+            device = self.device(device)
+        start = self._host_time
+        end = max(start, device.free_at)
+        self._host_time = end
+        event = Event(
+            kind=SYNC,
+            name=name,
+            resource=device.name,
             start_ms=start,
             end_ms=end,
             region=self.current_region,
@@ -506,62 +694,78 @@ class Machine:
 
     @property
     def gpu_context_ready(self) -> bool:
-        return self._gpu_context_ready
+        """Whether every GPU's context has been created (False on CPU-only)."""
+        return bool(self.gpus) and all(g.name in self._ready_gpus for g in self.gpus)
 
-    def initialize_gpu(self, model_bytes: int = 0) -> List[Event]:
-        """Perform one-time GPU warm-up: context creation and weight upload.
+    def gpu_ready(self, device: Device) -> bool:
+        """Whether one GPU's context has been created."""
+        return device.name in self._ready_gpus
 
-        Returns the warm-up events (empty when there is no GPU or the context
+    def initialize_gpu(
+        self, model_bytes: int = 0, device: Optional[Device] = None
+    ) -> List[Event]:
+        """Perform one-time warm-up of one GPU: context creation, weight upload.
+
+        ``device`` selects the GPU (the first one when omitted).  Returns the
+        warm-up events (empty when there is no GPU or that GPU's context
         already exists).  Mirrors the paper's Sec. 4.4 "model initialization"
-        component, which it measures at several seconds.
+        component, which it measures at several seconds; on a multi-GPU
+        machine each device pays it independently.
         """
-        if self.gpu is None or self._gpu_context_ready:
+        gpu = device if device is not None else self.gpu
+        if gpu is None or gpu.name in self._ready_gpus:
             return []
-        self._gpu_context_ready = True
+        if not gpu.is_gpu:
+            raise ValueError(f"cannot initialize non-GPU device {gpu.name!r}")
+        self._ready_gpus.add(gpu.name)
         emitted: List[Event] = []
         context_ms = self.warmup_spec.context_init_ms
-        interval = self.gpu.schedule(self._host_time, context_ms, "context_init")
+        interval = gpu.schedule(self._host_time, context_ms, "context_init")
         self._host_time = interval.end_ms
         context_event = Event(
             kind=WARMUP,
             name="context_init",
-            resource=self.gpu.name,
+            resource=gpu.name,
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
             region=self.current_region,
-            stream=self.gpu.default_stream.name,
+            stream=gpu.default_stream.name,
         )
         self.events.append(context_event)
         emitted.append(context_event)
         if model_bytes > 0:
             emitted.append(
-                self.transfer(self.cpu, self.gpu, model_bytes, name="weight_upload")
+                self.transfer(self.cpu, gpu, model_bytes, name="weight_upload")
             )
         return emitted
 
-    def allocation_warmup(self, footprint_bytes: int) -> Optional[Event]:
+    def allocation_warmup(
+        self, footprint_bytes: int, device: Optional[Device] = None
+    ) -> Optional[Event]:
         """Per-run lazy-allocation warm-up proportional to the batch footprint.
 
         Mirrors the second warm-up component of Sec. 4.4 (Table 2): before the
         first iteration the GPU allocates memory for the batch, and the cost
-        grows with the amount of data the run will keep on-chip.
+        grows with the amount of data the run will keep on-chip.  ``device``
+        selects the GPU (the first one when omitted).
         """
-        if self.gpu is None:
+        gpu = device if device is not None else self.gpu
+        if gpu is None:
             return None
-        if not self._gpu_context_ready:
-            self.initialize_gpu(model_bytes=0)
+        if gpu.name not in self._ready_gpus:
+            self.initialize_gpu(model_bytes=0, device=gpu)
         duration = self.warmup_spec.allocation_warmup_ms(footprint_bytes / 1e6)
-        interval = self.gpu.schedule(self._host_time, duration, "allocation_warmup")
+        interval = gpu.schedule(self._host_time, duration, "allocation_warmup")
         self._host_time = interval.end_ms
         event = Event(
             kind=WARMUP,
             name="allocation_warmup",
-            resource=self.gpu.name,
+            resource=gpu.name,
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
             bytes=footprint_bytes,
             region=self.current_region,
-            stream=self.gpu.default_stream.name,
+            stream=gpu.default_stream.name,
         )
         self.events.append(event)
         return event
@@ -603,10 +807,20 @@ class Machine:
     # -- reporting helpers ----------------------------------------------------
 
     def gpu_utilization(self, start_ms: float, end_ms: float) -> float:
-        """GPU busy fraction over a window (0.0 when there is no GPU)."""
+        """First GPU's busy fraction over a window (0.0 when there is no GPU).
+
+        Kept for the single-GPU reports; multi-GPU callers should name the
+        device explicitly via :meth:`device_utilization`.
+        """
         if self.gpu is None:
             return 0.0
         return self.gpu.utilization(start_ms, end_ms)
+
+    def device_utilization(self, device: Union[Device, str], start_ms: float, end_ms: float) -> float:
+        """One device's busy fraction over a window (device named explicitly)."""
+        if isinstance(device, str):
+            device = self.device(device)
+        return device.utilization(start_ms, end_ms)
 
     def event_cursor(self) -> int:
         """Current position in the event log (for profiler snapshots)."""

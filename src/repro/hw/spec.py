@@ -20,6 +20,7 @@ realistic achievable values; what matters for reproducing the paper is the
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -190,3 +191,104 @@ PCIE_GEN4 = LinkSpec(name="pcie-gen4-x16", bandwidth_gbps=2.0, latency_us=15.0)
 #: Sec. 4.4 (context init of several seconds; allocation warm-up of 5-10 ms
 #: growing with batch footprint).
 DEFAULT_WARMUP = WarmupSpec()
+
+#: NVIDIA A100-SXM4-40GB.  Same derating philosophy as the A6000 preset: the
+#: per-operator host overhead models the eager dispatch path of the profiled
+#: reference implementations, so scale-out runs inherit exactly the
+#: small-kernel inefficiencies the paper characterizes.
+A100_SXM = DeviceSpec(
+    name="a100-sxm",
+    kind="gpu",
+    peak_gflops=78000.0,
+    mem_bandwidth_gbps=1400.0,
+    launch_overhead_us=1.5,
+    host_overhead_us=40.0,
+    saturation_flops=4.0e8,
+    memory_capacity_mb=40 * 1024,
+    min_kernel_us=1.0,
+)
+
+#: NVLink 3.0 peer link (GPU<->GPU).  As with the PCIe preset, the bandwidth
+#: is an *achieved end-to-end* figure for the framework copy path, not the
+#: 300 GB/s aggregate wire rate -- but it stays an order of magnitude above
+#: the host link, which is what makes peer-to-peer shard gathers cheap.
+NVLINK3 = LinkSpec(name="nvlink3", bandwidth_gbps=40.0, latency_us=5.0, host_overhead_us=2.0)
+
+
+# -- Machine-level presets ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole-machine configuration: host, GPU complement, and interconnect.
+
+    A :class:`~repro.hw.machine.Machine` built from a spec owns ``num_gpus``
+    identical GPU devices, one host<->GPU link per GPU (PCIe), and --
+    optionally -- an all-to-all mesh of GPU<->GPU peer links (NVLink).  When
+    ``peer_link`` is ``None``, peer copies are staged through the two host
+    links, which is how PCIe-only boxes move data between GPUs.
+
+    Attributes:
+        name: Preset name (``"1xA100"``, ``"4xA100-nvlink"``, ...).
+        cpu / gpu: Device specs; ``gpu=None`` describes a CPU-only host.
+        num_gpus: Number of identical GPUs (0 with ``gpu=None``).
+        host_link: Host<->GPU link spec (one link instance per GPU).
+        peer_link: Optional GPU<->GPU link spec (all-to-all when present).
+        warmup: GPU warm-up parameters.
+    """
+
+    name: str
+    cpu: DeviceSpec = XEON_6226R
+    gpu: Optional[DeviceSpec] = RTX_A6000
+    num_gpus: int = 1
+    host_link: LinkSpec = PCIE_GEN4
+    peer_link: Optional[LinkSpec] = None
+    warmup: WarmupSpec = DEFAULT_WARMUP
+
+    def __post_init__(self) -> None:
+        if self.gpu is None and self.num_gpus > 0:
+            raise ValueError("num_gpus must be 0 for a machine without a GPU spec")
+        if self.gpu is not None and self.num_gpus < 1:
+            raise ValueError("a GPU machine needs num_gpus >= 1")
+        if self.peer_link is not None and self.num_gpus < 2:
+            raise ValueError("peer links need at least two GPUs")
+
+    @property
+    def has_peer_links(self) -> bool:
+        return self.peer_link is not None
+
+
+#: The paper's experimental platform: one Xeon 6226R host + one RTX A6000.
+#: Machines built from this spec are byte-identical to ``Machine.cpu_gpu()``.
+PAPER_1X_A6000 = MachineSpec(name="1xA6000")
+
+#: Machine-spec registry for the CLI / experiments.  The A100 presets are the
+#: scale-out platforms the ``scaling`` experiment sweeps.
+MACHINE_SPECS: Dict[str, MachineSpec] = {
+    spec.name: spec
+    for spec in (
+        PAPER_1X_A6000,
+        MachineSpec(name="cpu-only", gpu=None, num_gpus=0),
+        MachineSpec(name="1xA100", gpu=A100_SXM),
+        MachineSpec(name="2xA100-pcie", gpu=A100_SXM, num_gpus=2),
+        MachineSpec(name="2xA100-nvlink", gpu=A100_SXM, num_gpus=2, peer_link=NVLINK3),
+        MachineSpec(name="4xA100-pcie", gpu=A100_SXM, num_gpus=4),
+        MachineSpec(name="4xA100-nvlink", gpu=A100_SXM, num_gpus=4, peer_link=NVLINK3),
+    )
+}
+
+
+def available_machine_specs() -> List[str]:
+    return sorted(MACHINE_SPECS)
+
+
+def machine_spec(spec: Union[str, MachineSpec]) -> MachineSpec:
+    """Resolve a machine spec by preset name (passes specs through)."""
+    if isinstance(spec, MachineSpec):
+        return spec
+    if spec not in MACHINE_SPECS:
+        raise KeyError(
+            f"unknown machine spec {spec!r}; available: "
+            f"{', '.join(available_machine_specs())}"
+        )
+    return MACHINE_SPECS[spec]

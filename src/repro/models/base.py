@@ -84,16 +84,24 @@ class DGNNModel(Module):
     #: override :meth:`make_request_batch` instead to be servable.
     serves_event_streams: bool = False
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, device: Optional[Device] = None) -> None:
         super().__init__()
         self.machine = machine
+        # The compute device is captured once, at construction time: a model
+        # built inside ``with machine.placement(gpu_i):`` (or with an
+        # explicit ``device``) stays pinned to that GPU, which is what makes
+        # per-replica placement on multi-GPU machines explicit instead of
+        # implicitly "the GPU".
+        self._compute_device: Device = (
+            device if device is not None else machine.compute_device
+        )
 
     # -- devices -------------------------------------------------------------
 
     @property
     def compute_device(self) -> Device:
-        """Where model compute runs (GPU when present)."""
-        return self.machine.compute_device
+        """Where this model's compute runs (pinned at construction)."""
+        return self._compute_device
 
     @property
     def host_device(self) -> Device:
@@ -102,22 +110,25 @@ class DGNNModel(Module):
 
     @property
     def uses_gpu(self) -> bool:
-        return self.machine.has_gpu
+        return self._compute_device.is_gpu
 
     # -- lifecycle ------------------------------------------------------------
 
     def warm_up(self, batch: Optional[Any] = None) -> None:
         """Perform the GPU warm-up the paper attributes to model initialisation.
 
-        Creates the CUDA context, uploads the model weights, and performs the
-        allocation warm-up sized by the batch footprint (when a batch is
-        given).  A no-op on CPU-only machines.
+        Creates the CUDA context *of this model's compute device*, uploads
+        the model weights, and performs the allocation warm-up sized by the
+        batch footprint (when a batch is given).  A no-op on CPU-placed
+        models; on a multi-GPU machine each replica warms its own GPU.
         """
-        if not self.machine.has_gpu:
+        if not self._compute_device.is_gpu:
             return
-        self.machine.initialize_gpu(model_bytes=self.param_bytes())
+        self.machine.initialize_gpu(
+            model_bytes=self.param_bytes(), device=self._compute_device
+        )
         footprint = self.batch_footprint_bytes(batch) if batch is not None else self.param_bytes()
-        self.machine.allocation_warmup(footprint)
+        self.machine.allocation_warmup(footprint, device=self._compute_device)
 
     # -- interface for subclasses ------------------------------------------------
 
@@ -145,6 +156,20 @@ class DGNNModel(Module):
         return callable(getattr(self, "prepare_iteration", None)) and callable(
             getattr(self, "compute_iteration", None)
         )
+
+    @property
+    def supports_async_dispatch(self) -> bool:
+        """Whether the model implements ``dispatch_iteration``.
+
+        The scale-out serving layer (:mod:`repro.serve.scaleout`) runs model
+        replicas concurrently by *dispatching* batches -- host-side sampling
+        plus asynchronous kernel launches, no trailing synchronisation --
+        and retiring each batch at the ready time of the returned
+        :class:`~repro.hw.stream.StreamEvent`.  Models whose iteration can
+        only run blocking (ending in a full-machine sync) cannot overlap
+        across replicas and return False here.
+        """
+        return callable(getattr(self, "dispatch_iteration", None))
 
     def make_request_batch(self, payloads: Sequence[Any]) -> Any:
         """Merge per-request payloads into one iteration batch.

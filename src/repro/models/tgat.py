@@ -180,6 +180,24 @@ class TGAT(DGNNModel):
             )
         return scores
 
+    # -- async dispatch (multi-GPU serving) -------------------------------------
+
+    def dispatch_iteration(self, batch: EventStream, plan: Optional[List[NeighborhoodSample]] = None):
+        """Run one iteration without blocking on the device.
+
+        Host-side work (sampling -- unless a precomputed ``plan`` is given --
+        plus kernel launches and input transfers) advances the host cursor;
+        the attention kernels queue asynchronously on this replica's GPU
+        stream.  Returns a :class:`~repro.hw.stream.StreamEvent` recorded on
+        that stream: its ``ready_ms`` is the batch's completion time.  This
+        is what lets a scale-out server keep several GPU replicas busy at
+        once where the blocking :meth:`inference_iteration` would serialize
+        them behind a full-machine synchronisation.
+        """
+        self._forward(batch, plan=iter(plan) if plan is not None else None)
+        stream = self.machine.default_stream(self.compute_device)
+        return self.machine.record_event(stream, name=f"{self.name}_dispatched")
+
     def _sampling_plan(
         self,
         nodes: np.ndarray,

@@ -12,14 +12,21 @@ throughput numbers under load.  It simulates an online serving stack on the
   batching, SLO-aware batch shrinking);
 * :mod:`repro.serve.server` -- the serving loop, with blocking execution or
   the stream-based sampling/compute overlap of :mod:`repro.optim`;
+* :mod:`repro.serve.router` / :mod:`repro.serve.placement` /
+  :mod:`repro.serve.scaleout` -- multi-GPU scale-out: replicated serving
+  (per-GPU model replicas behind a batch router) and sharded serving (a
+  seeded graph partition splitting each batch across GPUs, with cross-shard
+  gathers charged to the interconnect);
 * :mod:`repro.serve.telemetry` -- per-request queue/service/total latency,
-  p50/p95/p99 percentiles, throughput, SLO-violation rate and utilization.
+  p50/p95/p99 percentiles, throughput, SLO-violation rate and per-device
+  utilization.
 
-See the ``serving`` experiment and the ``repro-dgnn serve`` CLI subcommand
-for the end-to-end sweeps.
+See the ``serving``/``scaling`` experiments and the ``repro-dgnn serve``
+CLI subcommand for the end-to-end sweeps.
 """
 
 from .batcher import DynamicBatcher
+from .placement import ShardedModel, build_replicas
 from .policy import (
     POLICIES,
     FIFOPolicy,
@@ -31,6 +38,17 @@ from .policy import (
     make_policy,
 )
 from .request import Request
+from .router import (
+    ROUTERS,
+    JoinShortestQueueRouter,
+    LeastLatencyRouter,
+    ReplicaState,
+    RoundRobinRouter,
+    Router,
+    available_routers,
+    make_router,
+)
+from .scaleout import ScaleOutServer
 from .server import InferenceServer
 from .telemetry import ServingReport
 from .workload import (
@@ -51,18 +69,29 @@ __all__ = [
     "DynamicBatcher",
     "FIFOPolicy",
     "InferenceServer",
+    "JoinShortestQueueRouter",
+    "LeastLatencyRouter",
     "POLICIES",
     "PoissonProcess",
+    "ROUTERS",
+    "ReplicaState",
     "Request",
+    "RoundRobinRouter",
+    "Router",
     "SLOAwarePolicy",
+    "ScaleOutServer",
     "SchedulerPolicy",
     "ServiceTimeEstimator",
     "ServingReport",
+    "ShardedModel",
     "TimeoutBatchingPolicy",
     "TraceReplay",
     "available_arrivals",
     "available_policies",
+    "available_routers",
+    "build_replicas",
     "generate_requests",
     "make_arrival_process",
     "make_policy",
+    "make_router",
 ]

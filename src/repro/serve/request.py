@@ -28,6 +28,8 @@ class Request:
         dispatched_ms / completed_ms: Filled in by the server, on the same
             clock as ``arrival_ms``.
         batch_size: Number of requests in the batch this request rode in.
+        replica: Index of the model replica that served the batch (``None``
+            for single-model serving).
     """
 
     request_id: int
@@ -38,6 +40,7 @@ class Request:
     dispatched_ms: Optional[float] = None
     completed_ms: Optional[float] = None
     batch_size: Optional[int] = None
+    replica: Optional[int] = None
 
     # -- latency views (valid once completed) --------------------------------
 

@@ -98,6 +98,9 @@ class InferenceServer:
         report.requests = completed
         report.duration_ms = duration_ms
         report.gpu_utilization = profile.gpu_utilization()
+        report.per_device_utilization = profile.per_gpu_utilization()
+        report.placement = getattr(self.model, "serving_placement", "single")
+        report.num_replicas = getattr(self.model, "num_replicas", 1)
         if profile.elapsed_ms > 0:
             report.cpu_utilization = min(
                 1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms

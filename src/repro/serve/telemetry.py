@@ -29,8 +29,14 @@ class ServingReport:
             a run is truncated).
         duration_ms: Measured simulated window (first arrival admission to
             last completion).
-        gpu_utilization / cpu_utilization: Busy fractions over the window.
+        gpu_utilization / cpu_utilization: Busy fractions over the window
+            (``gpu_utilization`` names the first GPU, the seed's "the GPU").
+        per_device_utilization: Busy fraction of *every* GPU, keyed by
+            explicit device name -- the multi-GPU view.
         overlap: Whether the run used the sampling/compute overlap scheduler.
+        placement: ``"single"``, ``"replicate"`` or ``"shard"``.
+        router: ``describe()`` string of the batch router (replicated runs).
+        num_replicas: Number of model replicas/shards serving the run.
     """
 
     label: str
@@ -42,6 +48,10 @@ class ServingReport:
     gpu_utilization: float = 0.0
     cpu_utilization: float = 0.0
     overlap: bool = False
+    placement: str = "single"
+    router: str = ""
+    num_replicas: int = 1
+    per_device_utilization: Dict[str, float] = field(default_factory=dict)
 
     # -- latency distributions -------------------------------------------------
 
@@ -84,6 +94,14 @@ class ServingReport:
         sizes = [r.batch_size for r in self.requests if r.batch_size]
         return sum(sizes) / len(sizes) if sizes else 0.0
 
+    def requests_per_replica(self) -> Dict[int, int]:
+        """Completed-request counts keyed by serving replica index."""
+        counts: Dict[int, int] = {}
+        for request in self.requests:
+            if request.is_completed and request.replica is not None:
+                counts[request.replica] = counts.get(request.replica, 0) + 1
+        return counts
+
     # -- presentation ---------------------------------------------------------------
 
     def summary(self) -> Dict[str, Any]:
@@ -102,6 +120,16 @@ class ServingReport:
             "gpu_utilization": round(self.gpu_utilization, 4),
             "cpu_utilization": round(self.cpu_utilization, 4),
         }
+        if self.placement != "single":
+            row["placement"] = self.placement
+            row["num_replicas"] = self.num_replicas
+            if self.router:
+                row["router"] = self.router
+        if self.per_device_utilization:
+            row["per_device_utilization"] = {
+                name: round(value, 4)
+                for name, value in sorted(self.per_device_utilization.items())
+            }
         if self.completed:
             for prefix, summary in (
                 ("", self.total_latency()),
@@ -118,6 +146,17 @@ class ServingReport:
         lines = [f"serving report: {self.label}"]
         lines.append(f"  policy:   {self.policy}")
         lines.append(f"  arrival:  {self.arrival}   overlap: {self.overlap}")
+        if self.placement != "single":
+            spread = self.requests_per_replica()
+            detail = f"   router: {self.router}" if self.router else ""
+            lines.append(
+                f"  placement: {self.placement} x{self.num_replicas}{detail}"
+            )
+            if spread:
+                shares = "  ".join(
+                    f"r{idx}:{count}" for idx, count in sorted(spread.items())
+                )
+                lines.append(f"  per-replica completions: {shares}")
         lines.append(
             f"  requests: {self.completed}/{self.offered} completed over "
             f"{self.duration_ms:.1f} ms (simulated)"
@@ -142,4 +181,10 @@ class ServingReport:
             f"  utilization: GPU {self.gpu_utilization * 100:.2f}%   "
             f"CPU {self.cpu_utilization * 100:.2f}%"
         )
+        if len(self.per_device_utilization) > 1:
+            per_gpu = "  ".join(
+                f"{name}:{value * 100:.2f}%"
+                for name, value in sorted(self.per_device_utilization.items())
+            )
+            lines.append(f"  per-GPU utilization: {per_gpu}")
         return "\n".join(lines)

@@ -100,3 +100,75 @@ def test_cli_serve_rejects_unservable_models(capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "error:" in captured.err
+
+
+# -- scale-out serve flags -----------------------------------------------------------
+
+
+def test_serve_scaleout_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "tgat"])
+    assert args.topology == "1xA6000"
+    assert args.placement == "single"
+    assert args.router == "round-robin"
+    assert args.partitioner == "degree"
+    assert args.gpus is None
+
+
+def test_cli_serve_replicated_end_to_end(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--rate", "500", "--duration", "100",
+         "--topology", "2xA100-pcie", "--placement", "replicate", "--router", "jsq",
+         "--param", "num_neighbors=5"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "placement: replicate x2" in out
+    assert "jsq" in out
+
+
+def test_cli_serve_sharded_end_to_end(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--rate", "200", "--duration", "80",
+         "--topology", "2xA100-nvlink", "--placement", "shard",
+         "--param", "num_neighbors=5"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "placement: shard x2" in out
+
+
+def test_cli_serve_rejects_too_many_gpus(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--topology", "2xA100-pcie",
+         "--gpus", "3", "--placement", "replicate"]
+    )
+    assert code == 2
+    assert "--gpus must be in [1, 2]" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_overlap_with_scaleout_placement(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--topology", "2xA100-pcie",
+         "--placement", "replicate", "--overlap"]
+    )
+    assert code == 2
+    assert "overlap" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_gpus_flag_on_single_placement(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--topology", "4xA100-pcie",
+         "--gpus", "4"]
+    )
+    assert code == 2
+    assert "--gpus only applies" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_scaleout_on_cpu_only_topology(capsys):
+    code = main(
+        ["serve", "tgat", "--scale", "tiny", "--topology", "cpu-only",
+         "--placement", "replicate"]
+    )
+    assert code == 2
+    assert "needs a GPU topology" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Partitioner coverage: balance bounds, determinism, edge-cut accounting."""
+
+import numpy as np
+import pytest
+
+from repro.graph.events import EventStream
+from repro.graph.partition import (
+    GraphPartition,
+    available_partitioners,
+    degree_balanced_partition,
+    hash_partition,
+    make_partition,
+    node_degrees,
+)
+
+
+def skewed_stream(num_events=2000, num_nodes=200, seed=0):
+    """A power-law-ish interaction stream (hot nodes, like real datasets)."""
+    rng = np.random.default_rng(seed)
+    # Zipf-weighted endpoints so a few nodes carry most interactions.
+    weights = 1.0 / np.arange(1, num_nodes + 1) ** 1.2
+    weights /= weights.sum()
+    src = rng.choice(num_nodes, size=num_events, p=weights)
+    dst = rng.choice(num_nodes, size=num_events, p=weights)
+    timestamps = np.sort(rng.uniform(0, 1000, size=num_events))
+    return EventStream(src, dst, timestamps, num_nodes=num_nodes)
+
+
+class TestHashPartition:
+    def test_deterministic_under_fixed_seed(self):
+        a = hash_partition(500, 4, seed=7)
+        b = hash_partition(500, 4, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_permute_assignment(self):
+        a = hash_partition(500, 4, seed=0)
+        b = hash_partition(500, 4, seed=1)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_node_counts_statistically_balanced(self):
+        partition = hash_partition(4000, 4, seed=0)
+        counts = partition.node_counts()
+        assert counts.sum() == 4000
+        # Uniform hash: each shard within 20% of the 1000-node mean.
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_every_shard_in_range(self):
+        partition = hash_partition(100, 3, seed=2)
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            hash_partition(10, 0)
+        with pytest.raises(ValueError):
+            hash_partition(-1, 2)
+
+
+class TestDegreeBalancedPartition:
+    def test_deterministic_under_fixed_seed(self):
+        stream = skewed_stream()
+        a = degree_balanced_partition(stream, 4, seed=3)
+        b = degree_balanced_partition(stream, 4, seed=3)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_lpt_balance_bound(self):
+        """Greedy LPT: max shard load <= mean + one max-degree node."""
+        stream = skewed_stream()
+        for shards in (2, 3, 4):
+            partition = degree_balanced_partition(stream, shards, seed=0)
+            loads = partition.degree_loads(stream)
+            degrees = node_degrees(stream, stream.num_nodes)
+            assert loads.max() <= loads.mean() + degrees.max()
+
+    def test_beats_hash_on_skewed_degree_balance(self):
+        stream = skewed_stream()
+        degree = degree_balanced_partition(stream, 4, seed=0)
+        hashed = hash_partition(stream.num_nodes, 4, seed=0)
+        assert degree.balance(stream) <= hashed.balance(stream)
+
+    def test_covers_all_nodes(self):
+        stream = skewed_stream(num_events=300, num_nodes=50)
+        partition = degree_balanced_partition(stream, 2, seed=0)
+        assert partition.num_nodes == 50
+
+
+class TestPartitionViews:
+    def test_edge_cut_fraction_bounds(self):
+        stream = skewed_stream()
+        partition = hash_partition(stream.num_nodes, 4, seed=0)
+        cut = partition.edge_cut_fraction(stream)
+        assert 0.0 <= cut <= 1.0
+        single = hash_partition(stream.num_nodes, 1, seed=0)
+        assert single.edge_cut_fraction(stream) == 0.0
+
+    def test_split_events_partitions_every_event_once(self):
+        stream = skewed_stream()
+        partition = degree_balanced_partition(stream, 3, seed=1)
+        splits = partition.split_events(stream)
+        total = np.concatenate(splits)
+        assert len(total) == stream.num_events
+        assert len(np.unique(total)) == stream.num_events
+        # Each split respects ownership and stays time-sorted.
+        for shard, positions in enumerate(splits):
+            if len(positions) == 0:
+                continue
+            assert np.all(partition.shard_of(stream.src[positions]) == shard)
+            assert np.all(np.diff(stream.timestamps[positions]) >= 0)
+
+    def test_select_round_trips_through_event_stream(self):
+        stream = skewed_stream(num_events=100, num_nodes=30)
+        positions = np.array([3, 10, 42, 99])
+        sub = stream.select(positions)
+        assert sub.num_events == 4
+        assert np.array_equal(sub.src, stream.src[positions])
+        assert sub.num_nodes == stream.num_nodes
+
+    def test_partition_rejects_mismatched_shards(self):
+        with pytest.raises(ValueError):
+            GraphPartition(
+                num_shards=2, assignment=np.array([0, 1, 5]), method="x", seed=0
+            )
+
+
+class TestRegistry:
+    def test_available_partitioners(self):
+        assert available_partitioners() == ["degree", "hash"]
+
+    def test_make_partition_by_name(self):
+        stream = skewed_stream(num_events=200, num_nodes=40)
+        for name in available_partitioners():
+            partition = make_partition(name, stream, 2, seed=0)
+            assert partition.num_shards == 2
+            assert partition.method in name
+
+    def test_make_partition_unknown_name(self):
+        stream = skewed_stream(num_events=10, num_nodes=5)
+        with pytest.raises(KeyError):
+            make_partition("metis", stream, 2)

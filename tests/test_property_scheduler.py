@@ -1,0 +1,173 @@
+"""Property-based invariants of the stream scheduler (seeded, stdlib-only).
+
+Random programs -- kernels, host work, transfers, stream events, syncs,
+allocations -- are issued against random machine topologies (1-4 GPUs, with
+and without peer links).  Whatever the program, the simulator must uphold:
+
+* every stream's timeline holds non-overlapping, time-ordered intervals of
+  non-negative duration;
+* the host cursor never moves backwards;
+* memory pools never go negative, and alloc/free round-trips balance;
+* ``synchronize`` really drains everything: afterwards no stream on any
+  device or link is busy past the cursor;
+* every logged event ends at or after it starts, inside a stream the
+  machine actually owns.
+
+Each seed is its own test case, so a failure names the exact seed to replay.
+"""
+
+import random
+
+import pytest
+
+from repro.hw import MACHINE_SPECS, Machine
+from repro.hw.spec import machine_spec
+
+SEEDS = list(range(12))
+
+TOPOLOGIES = [
+    "1xA6000",
+    "1xA100",
+    "2xA100-pcie",
+    "2xA100-nvlink",
+    "4xA100-pcie",
+    "4xA100-nvlink",
+]
+
+
+def random_program(machine, rng, num_ops=60):
+    """Issue a random but *valid* stream program; returns live alloc ids."""
+    devices = list(machine.devices)
+    stream_names = ["default", "s1", "s2"]
+    recorded = []
+    live_allocs = []
+    host_before = machine.host_time_ms
+    for _ in range(num_ops):
+        op = rng.choice(
+            ["kernel", "host", "transfer", "record", "wait", "sync",
+             "stream_sync", "alloc", "free", "advance"]
+        )
+        if op == "kernel":
+            device = rng.choice(devices)
+            stream = device.stream(rng.choice(stream_names))
+            machine.launch_kernel(
+                device,
+                f"k{rng.randrange(1000)}",
+                flops=rng.uniform(0, 5e7),
+                bytes_moved=rng.uniform(0, 1e6),
+                stream=stream,
+            )
+        elif op == "host":
+            stream = machine.cpu.stream(rng.choice(stream_names))
+            machine.host_work("hw", rng.uniform(0, 2.0), stream=stream)
+        elif op == "transfer" and machine.has_gpu:
+            src, dst = rng.sample(
+                [machine.cpu] + list(machine.gpus), 2
+            )
+            machine.transfer(
+                src, dst, rng.randrange(0, 1_000_000),
+                non_blocking=rng.random() < 0.5,
+            )
+        elif op == "record":
+            device = rng.choice(devices)
+            stream = device.stream(rng.choice(stream_names))
+            recorded.append(machine.record_event(stream))
+        elif op == "wait" and recorded:
+            device = rng.choice(devices)
+            stream = device.stream(rng.choice(stream_names))
+            machine.wait_event(stream, rng.choice(recorded))
+        elif op == "sync":
+            machine.synchronize()
+        elif op == "stream_sync":
+            device = rng.choice(devices)
+            machine.stream_synchronize(device.stream(rng.choice(stream_names)))
+        elif op == "alloc":
+            device = rng.choice(devices)
+            live_allocs.append(
+                (device, machine.alloc(device, rng.randrange(0, 10_000_000)))
+            )
+        elif op == "free" and live_allocs:
+            device, alloc_id = live_allocs.pop(rng.randrange(len(live_allocs)))
+            machine.free(device, alloc_id)
+        elif op == "advance":
+            machine.advance_host(rng.uniform(0, 1.0))
+        # The one global invariant checked after *every* operation:
+        assert machine.host_time_ms >= host_before, "host cursor moved backwards"
+        host_before = machine.host_time_ms
+        for device in machine.devices:
+            assert device.memory.current_bytes >= 0, "memory pool went negative"
+    return live_allocs
+
+
+def assert_stream_invariants(machine):
+    """No stream interval overlaps, runs backwards, or precedes its queue."""
+    resources = list(machine.devices) + list(machine.links)
+    for resource in resources:
+        for stream in resource.streams:
+            previous_end = None
+            for interval in stream.timeline:
+                assert interval.duration_ms >= 0, (
+                    f"negative duration on {resource.name}:{stream.name}"
+                )
+                if previous_end is not None:
+                    assert interval.start_ms >= previous_end - 1e-12, (
+                        f"overlapping intervals on {resource.name}:{stream.name}"
+                    )
+                previous_end = interval.end_ms
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_program_upholds_scheduler_invariants(seed):
+    rng = random.Random(seed)
+    machine = Machine.from_spec(rng.choice(TOPOLOGIES))
+    live = random_program(machine, rng)
+    assert_stream_invariants(machine)
+    # Synchronize must drain every stream on every device and link.
+    machine.synchronize()
+    now = machine.host_time_ms
+    for device in machine.devices:
+        assert device.free_at <= now + 1e-9
+    for link in machine.links:
+        assert link.free_at <= now + 1e-9
+    # Event log sanity: kinds valid (enforced at construction), ends >= starts.
+    for event in machine.events:
+        assert event.end_ms >= event.start_ms
+    # Freeing everything still live balances the pools back to zero.
+    for device, alloc_id in live:
+        machine.free(device, alloc_id)
+    for device in machine.devices:
+        assert device.memory.current_bytes == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_random_program_is_deterministic_under_seed(seed):
+    def trace(s):
+        rng = random.Random(s)
+        machine = Machine.from_spec(rng.choice(TOPOLOGIES))
+        random_program(machine, rng)
+        return [
+            (e.kind, e.name, e.resource, e.start_ms, e.end_ms, e.stream)
+            for e in machine.events
+        ]
+
+    assert trace(seed) == trace(seed)
+
+
+def test_memory_pool_rejects_double_free():
+    machine = Machine.cpu_gpu()
+    alloc_id = machine.alloc(machine.gpu, 1000)
+    machine.free(machine.gpu, alloc_id)
+    with pytest.raises(KeyError):
+        machine.free(machine.gpu, alloc_id)
+
+
+def test_all_machine_spec_presets_build_and_schedule():
+    for name in MACHINE_SPECS:
+        machine = Machine.from_spec(name)
+        spec = machine_spec(name)
+        assert machine.num_gpus == spec.num_gpus
+        machine.host_work("tick", 1.0)
+        if machine.has_gpu:
+            machine.launch_kernel(machine.gpus[-1], "probe", 1e6, 1e4)
+        machine.synchronize()
+        assert_stream_invariants(machine)
