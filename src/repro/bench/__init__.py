@@ -1,0 +1,78 @@
+"""Benchmark subsystem: the repo's performance trajectory, made machine-readable.
+
+``repro-dgnn bench`` runs a fixed scenario suite against the simulator and
+records wall-clock speed (how fast the simulator itself executes), simulated
+time (what the cost model computed -- a pure function of the seed) and event
+throughput.  The suite spans the three workload families the reproduction
+cares about:
+
+* ``training_iteration`` -- the offline iteration loop the paper profiles:
+  consecutive TGAT mini-batches through ``inference_iteration`` (this
+  inference-focused reproduction has no backward pass; the "iteration" is
+  the same forward unit every figure experiment measures).
+* ``serving_blocking`` / ``serving_overlap`` -- the online serving loop
+  under Poisson load, blocking vs. sampling/compute-overlap execution.
+* ``scaling_1gpu`` / ``scaling_2gpu`` / ``scaling_4gpu`` -- replicated
+  scale-out serving on the 1/2/4xA100 PCIe topologies.
+* ``scheduler_throughput`` / ``scheduler_throughput_noprofile`` -- the raw
+  scheduling engine driven directly (batched kernel charging, transfers,
+  synchronisations; no numerics or sampling), with and without event
+  recording (``Machine(record_events=False)``), isolating the simulator's
+  own speed from model numerics.
+
+Each scenario is run ``reps`` times from the same seed (the simulated
+results are identical across reps; only wall-clock varies) and reported as
+the median wall time with its interquartile range.
+
+Report schema (``BENCH_<n>.json``)::
+
+    {
+      "<scenario>": {
+        "wall_ms":        <median wall-clock per run, ms>,
+        "sim_ms":         <simulated machine time per run, ms>,
+        "events_per_sec": <simulated actions per wall-clock second, median>,
+        "reps":           <repetitions measured>,
+        "seed":           <workload seed>,
+        "git_sha":        "<short commit hash, or 'unknown'>"
+      },
+      ...
+    }
+
+Extra keys (``wall_iqr_ms``, ``quick``) may appear alongside the required
+six; validators must tolerate them.  Files are numbered ``BENCH_4.json``,
+``BENCH_5.json``, ... (PRs 0-3 predate the harness), forming the perf
+trajectory next to the checked-in ``BENCH_baseline.json`` that the CI perf
+gate compares against: a scenario whose median wall time regresses more
+than the configured fraction (default 25%) fails the build.
+"""
+
+from .harness import BenchResult, ScenarioResult, run_bench
+from .report import (
+    REQUIRED_KEYS,
+    comparable_scenarios,
+    compare_to_baseline,
+    format_table,
+    load_report,
+    next_bench_path,
+    to_payload,
+    validate_payload,
+    write_report,
+)
+from .scenarios import SCENARIOS, available_scenarios
+
+__all__ = [
+    "BenchResult",
+    "REQUIRED_KEYS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "available_scenarios",
+    "comparable_scenarios",
+    "compare_to_baseline",
+    "format_table",
+    "load_report",
+    "next_bench_path",
+    "run_bench",
+    "to_payload",
+    "validate_payload",
+    "write_report",
+]

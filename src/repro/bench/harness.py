@@ -1,0 +1,122 @@
+"""Benchmark harness: seeded repetitions, wall-clock medians, throughput.
+
+The harness runs each scenario ``reps`` times.  Every repetition rebuilds
+the full workload from the same seed, so the *simulated* outputs (machine
+time, event count) are identical across reps -- the harness asserts that --
+while wall-clock varies with machine noise; the median and interquartile
+range are what get reported and gated on.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .scenarios import SCENARIOS, Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Measured performance of one scenario over ``reps`` repetitions."""
+
+    name: str
+    description: str
+    wall_ms: float
+    wall_iqr_ms: float
+    sim_ms: float
+    events: int
+    events_per_sec: float
+    reps: int
+    seed: int
+    quick: bool
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One full benchmark run."""
+
+    scenarios: List[ScenarioResult]
+    quick: bool
+    seed: int
+
+    def scenario(self, name: str) -> Optional[ScenarioResult]:
+        for result in self.scenarios:
+            if result.name == name:
+                return result
+        return None
+
+
+def _iqr(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    quartiles = statistics.quantiles(values, n=4, method="inclusive")
+    return quartiles[2] - quartiles[0]
+
+
+def run_scenario(
+    scenario: Scenario, seed: int = 0, reps: int = 3, quick: bool = False
+) -> ScenarioResult:
+    """Run one scenario ``reps`` times and aggregate the measurements."""
+    if reps < 1:
+        raise ValueError("reps must be positive")
+    wall_times: List[float] = []
+    throughputs: List[float] = []
+    sim_ms: Optional[float] = None
+    events: Optional[int] = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        machine = scenario.fn(seed, quick)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        wall_times.append(elapsed_ms)
+        rep_sim = machine.host_time_ms
+        rep_events = machine.event_count
+        if sim_ms is None:
+            sim_ms, events = rep_sim, rep_events
+        elif rep_sim != sim_ms or rep_events != events:
+            raise RuntimeError(
+                f"scenario {scenario.name!r} is not deterministic across "
+                f"repetitions: sim {sim_ms} vs {rep_sim} ms, "
+                f"{events} vs {rep_events} events -- a seeded workload must "
+                "reproduce its simulated results exactly"
+            )
+        throughputs.append(rep_events / (elapsed_ms * 1e-3) if elapsed_ms > 0 else 0.0)
+    assert sim_ms is not None and events is not None
+    return ScenarioResult(
+        name=scenario.name,
+        description=scenario.description,
+        wall_ms=statistics.median(wall_times),
+        wall_iqr_ms=_iqr(wall_times),
+        sim_ms=sim_ms,
+        events=events,
+        events_per_sec=statistics.median(throughputs),
+        reps=reps,
+        seed=seed,
+        quick=quick,
+    )
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    reps: Optional[int] = None,
+    quick: bool = False,
+) -> BenchResult:
+    """Run the (optionally filtered) scenario suite.
+
+    ``reps`` defaults to 3 in quick mode and 5 otherwise.
+    """
+    if reps is None:
+        reps = 3 if quick else 5
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {unknown}; available: {', '.join(SCENARIOS)}"
+        )
+    results = [
+        run_scenario(SCENARIOS[name], seed=seed, reps=reps, quick=quick)
+        for name in names
+    ]
+    return BenchResult(scenarios=results, quick=quick, seed=seed)

@@ -1,0 +1,228 @@
+"""BENCH_<n>.json reports: schema, validation, baseline comparison.
+
+The on-disk schema is a flat mapping ``scenario -> metrics``::
+
+    {"serving_blocking": {"wall_ms": ..., "sim_ms": ..., "events_per_sec":
+     ..., "reps": ..., "seed": ..., "git_sha": "..."}, ...}
+
+``wall_ms`` is the median over the run's repetitions.  ``wall_iqr_ms`` and
+``quick`` are optional extras; validators tolerate unknown keys so the
+schema can grow additively.  Reports are numbered from 4 upwards (PRs 0-3
+predate the harness), so the repo root accumulates ``BENCH_4.json``,
+``BENCH_5.json``, ... as the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .harness import BenchResult
+
+#: Keys every scenario entry must carry, with their accepted types.
+REQUIRED_KEYS = {
+    "wall_ms": (int, float),
+    "sim_ms": (int, float),
+    "events_per_sec": (int, float),
+    "reps": (int,),
+    "seed": (int,),
+    "git_sha": (str,),
+}
+
+#: First index in the BENCH_<n>.json trajectory (PRs 0-3 had no harness).
+FIRST_BENCH_INDEX = 4
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else "unknown"
+
+
+def to_payload(result: BenchResult, sha: Optional[str] = None) -> Dict[str, dict]:
+    """Serialize a bench run into the report schema."""
+    sha = sha if sha is not None else git_sha()
+    payload: Dict[str, dict] = {}
+    for scenario in result.scenarios:
+        payload[scenario.name] = {
+            "wall_ms": round(scenario.wall_ms, 3),
+            "wall_iqr_ms": round(scenario.wall_iqr_ms, 3),
+            "sim_ms": round(scenario.sim_ms, 6),
+            "events_per_sec": round(scenario.events_per_sec, 1),
+            "reps": scenario.reps,
+            "seed": scenario.seed,
+            "git_sha": sha,
+            "quick": scenario.quick,
+        }
+    return payload
+
+
+def validate_payload(payload: object) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict) or not payload:
+        raise ValueError("bench report must be a non-empty object")
+    for name, entry in payload.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"scenario name {name!r} must be a non-empty string")
+        if not isinstance(entry, dict):
+            raise ValueError(f"scenario {name!r} entry must be an object")
+        for key, types in REQUIRED_KEYS.items():
+            if key not in entry:
+                raise ValueError(f"scenario {name!r} is missing required key {key!r}")
+            value = entry[key]
+            if isinstance(value, bool) or not isinstance(value, types):
+                raise ValueError(
+                    f"scenario {name!r} key {key!r} has type "
+                    f"{type(value).__name__}, expected one of "
+                    f"{[t.__name__ for t in types]}"
+                )
+        for key in ("wall_ms", "sim_ms", "events_per_sec"):
+            if entry[key] < 0:
+                raise ValueError(f"scenario {name!r} key {key!r} must be non-negative")
+        if entry["reps"] < 1:
+            raise ValueError(f"scenario {name!r} reps must be positive")
+
+
+def write_report(payload: Dict[str, dict], path: str) -> str:
+    """Validate and write one report; returns the path."""
+    validate_payload(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, dict]:
+    """Load and validate a report file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_payload(payload)
+    return payload
+
+
+def next_bench_path(directory: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` path in ``directory``.
+
+    Numbering starts at :data:`FIRST_BENCH_INDEX` and continues after the
+    highest existing index (``BENCH_baseline.json`` does not count).
+    """
+    highest = FIRST_BENCH_INDEX - 1
+    for entry in os.listdir(directory):
+        match = _BENCH_NAME.match(entry)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, f"BENCH_{highest + 1}.json")
+
+
+def comparable_scenarios(
+    current: Dict[str, dict], baseline: Dict[str, dict]
+) -> List[str]:
+    """Scenario names a baseline comparison would actually gate on.
+
+    A scenario is comparable when both reports carry it, the baseline's
+    wall time is positive, and the two entries ran in the same mode
+    (``quick`` flags agree).  The CLI refuses to declare the perf gate
+    passed when this list is empty -- e.g. when a full-mode baseline is
+    compared against a ``--quick`` run -- because zero comparisons would
+    otherwise be indistinguishable from a clean pass.
+    """
+    names = []
+    for name, entry in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None or base["wall_ms"] <= 0:
+            continue
+        if entry.get("quick") != base.get("quick"):
+            continue
+        names.append(name)
+    return names
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One scenario whose wall-clock exceeded the allowed regression."""
+
+    scenario: str
+    baseline_wall_ms: float
+    current_wall_ms: float
+    ratio: float
+
+
+def compare_to_baseline(
+    current: Dict[str, dict],
+    baseline: Dict[str, dict],
+    max_regression: float = 0.25,
+) -> List[Regression]:
+    """Scenarios slower than ``baseline`` by more than ``max_regression``.
+
+    Only scenarios present in both reports are compared (so the suite can
+    grow without immediately failing the gate); a scenario the baseline
+    knows but the current run skipped is *not* a regression -- the CI job
+    runs the full suite, so a silently vanishing scenario would surface as
+    a missing-baseline-entry diff when the baseline is next refreshed.
+    Entries whose ``quick`` flags disagree are skipped too: quick and full
+    workloads are different sizes, so comparing across modes would flag
+    phantom regressions.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    regressions: List[Regression] = []
+    for name in comparable_scenarios(current, baseline):
+        entry = current[name]
+        base = baseline[name]
+        ratio = entry["wall_ms"] / base["wall_ms"]
+        if ratio > 1.0 + max_regression:
+            regressions.append(
+                Regression(
+                    scenario=name,
+                    baseline_wall_ms=base["wall_ms"],
+                    current_wall_ms=entry["wall_ms"],
+                    ratio=ratio,
+                )
+            )
+    return regressions
+
+
+def format_table(
+    payload: Dict[str, dict], baseline: Optional[Dict[str, dict]] = None
+) -> str:
+    """Render a report (optionally vs. a baseline) as a markdown table."""
+    header = "| scenario | wall ms (median) | sim ms | events/s | reps |"
+    divider = "|---|---|---|---|---|"
+    if baseline is not None:
+        header += " vs baseline |"
+        divider += "---|"
+    lines = [header, divider]
+    for name, entry in sorted(payload.items()):
+        row = (
+            f"| {name} | {entry['wall_ms']:.1f} | {entry['sim_ms']:.3f} "
+            f"| {entry['events_per_sec']:.0f} | {entry['reps']} |"
+        )
+        if baseline is not None:
+            base = baseline.get(name)
+            if base is None or base["wall_ms"] <= 0:
+                row += " (new) |"
+            elif entry.get("quick") != base.get("quick"):
+                # Mode-mismatched entries are excluded from the gate, so
+                # printing a ratio across workload sizes would be misleading.
+                row += " (incomparable: quick/full) |"
+            else:
+                ratio = entry["wall_ms"] / base["wall_ms"]
+                row += f" {(ratio - 1.0) * 100.0:+.1f}% |"
+        lines.append(row)
+    return "\n".join(lines)

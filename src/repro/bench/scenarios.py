@@ -1,0 +1,207 @@
+"""The benchmark scenario suite.
+
+Every scenario is a self-contained callable: it builds a fresh machine,
+dataset and model from its seed, runs one representative workload, and
+returns the machine so the harness can read simulated time and event
+throughput off it.  Scenarios accept a ``quick`` flag that shrinks the
+workload (tiny dataset scale, shorter serving windows) for the CI perf gate;
+the full configuration is what local ``repro-dgnn bench`` runs record in the
+``BENCH_<n>.json`` trajectory.
+
+Scenario bodies deliberately reuse the same building blocks as the
+``serving`` and ``scaling`` experiments (same models, policies, arrival
+processes), so a wall-clock regression here predicts a slowdown of the real
+experiment suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..datasets import load as load_dataset
+from ..hw.machine import Machine
+from ..models.tgat import TGAT, TGATConfig
+from ..serve import (
+    InferenceServer,
+    ScaleOutServer,
+    build_replicas,
+    generate_requests,
+    make_arrival_process,
+    make_policy,
+    make_router,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark scenario: a name, a description, and a workload body.
+
+    The body is ``fn(seed, quick) -> Machine``; the harness times the call
+    and reads ``host_time_ms`` / ``event_count`` off the returned machine.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[int, bool], Machine]
+
+
+def _tgat(machine: Machine, dataset, seed: int, num_neighbors: int = 10,
+          batch_size: int = 64) -> TGAT:
+    with machine.activate():
+        return TGAT(
+            machine,
+            dataset,
+            TGATConfig(num_neighbors=num_neighbors, batch_size=batch_size, seed=seed),
+        )
+
+
+def _training_iteration(seed: int, quick: bool) -> Machine:
+    """Offline iteration loop: consecutive mini-batches, blocking execution."""
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu()
+    model = _tgat(machine, dataset, seed)
+    iterations = 3 if quick else 8
+    with machine.activate():
+        first = True
+        for index, batch in enumerate(model.iteration_batches()):
+            if first:
+                model.warm_up(batch)
+                first = False
+            model.inference_iteration(batch)
+            if index + 1 >= iterations:
+                break
+    return machine
+
+
+def _serving(seed: int, quick: bool, overlap: bool) -> Machine:
+    """Online serving under Poisson load (the ``serving`` experiment's core)."""
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu()
+    model = _tgat(machine, dataset, seed)
+    arrivals = make_arrival_process("poisson", 400.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=1,
+        slo_ms=50.0,
+    )
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    server = InferenceServer(model, policy, overlap=overlap)
+    server.serve(
+        requests,
+        label=f"bench-serving-{'overlap' if overlap else 'blocking'}",
+        arrival_name="poisson",
+    )
+    return machine
+
+
+def _scaling(seed: int, quick: bool, spec: str, num_gpus: int) -> Machine:
+    """Replicated scale-out serving (the ``scaling`` experiment's core)."""
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.from_spec(spec)
+    config = TGATConfig(num_neighbors=10, batch_size=64, seed=seed)
+    with machine.activate():
+        replicas = build_replicas(
+            machine,
+            lambda: TGAT(machine, dataset, config),
+            machine.gpus[:num_gpus],
+        )
+    arrivals = make_arrival_process("poisson", 500.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=2,
+        slo_ms=50.0,
+    )
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    server = ScaleOutServer(replicas, policy, make_router("round-robin", len(replicas)))
+    server.serve(requests, label=f"bench-scaling-{num_gpus}gpu", arrival_name="poisson")
+    return machine
+
+
+def _scheduler_throughput(seed: int, quick: bool, record_events: bool) -> Machine:
+    """Pure scheduling-engine throughput: no numerics, no model, no RNG.
+
+    Drives the machine directly with the batched :meth:`Machine.launch_kernels`
+    charging API plus transfers and synchronisations -- the exact inner loops
+    the hot-path optimization work targets -- so this scenario isolates the
+    simulator's own speed from numpy numerics and sampling costs that
+    dominate the model-level scenarios.  The ``record_events=False`` variant
+    measures the same schedule with profiling's event stream disabled
+    (scheduling and timelines are byte-identical either way; only the event
+    log is skipped).
+    """
+    machine = Machine.from_spec("2xA100-pcie", record_events=record_events)
+    # Quick mode still runs enough rounds (~10 ms wall) that the CI gate's
+    # 25% threshold sits well above timer/runner jitter.
+    rounds = 400 if quick else 1500
+    cpu = machine.cpu
+    gpus = machine.gpus
+    with machine.activate():
+        machine.initialize_gpu(model_bytes=1 << 20, device=gpus[0])
+        machine.initialize_gpu(model_bytes=1 << 20, device=gpus[1])
+        for index in range(rounds):
+            gpu = gpus[index % len(gpus)]
+            # A homogeneous run of small kernels (the RNN-step / per-head
+            # pattern), one host preprocessing step, one input upload.
+            machine.launch_kernels(gpu, "bench_gemm", 8, 2.0e6, 64e3)
+            machine.host_work("bench_preprocess", 0.02)
+            machine.transfer(cpu, gpu, 32768, non_blocking=True)
+            if index % 10 == 9:
+                machine.synchronize()
+        machine.synchronize(name="final")
+    return machine
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "training_iteration",
+            "offline TGAT mini-batch iteration loop (blocking)",
+            _training_iteration,
+        ),
+        Scenario(
+            "serving_blocking",
+            "online serving, blocking execution, Poisson arrivals",
+            lambda seed, quick: _serving(seed, quick, overlap=False),
+        ),
+        Scenario(
+            "serving_overlap",
+            "online serving, sampling/compute overlap, Poisson arrivals",
+            lambda seed, quick: _serving(seed, quick, overlap=True),
+        ),
+        Scenario(
+            "scaling_1gpu",
+            "replicated serving on 1xA100",
+            lambda seed, quick: _scaling(seed, quick, "1xA100", 1),
+        ),
+        Scenario(
+            "scaling_2gpu",
+            "replicated serving on 2xA100-pcie",
+            lambda seed, quick: _scaling(seed, quick, "2xA100-pcie", 2),
+        ),
+        Scenario(
+            "scaling_4gpu",
+            "replicated serving on 4xA100-pcie",
+            lambda seed, quick: _scaling(seed, quick, "4xA100-pcie", 4),
+        ),
+        Scenario(
+            "scheduler_throughput",
+            "raw scheduling engine: batched kernels + transfers, events on",
+            lambda seed, quick: _scheduler_throughput(seed, quick, True),
+        ),
+        Scenario(
+            "scheduler_throughput_noprofile",
+            "raw scheduling engine with event recording disabled",
+            lambda seed, quick: _scheduler_throughput(seed, quick, False),
+        ),
+    )
+}
+
+
+def available_scenarios() -> List[str]:
+    return list(SCENARIOS)

@@ -17,12 +17,12 @@ a severity in [0, 1], the supporting evidence, and a human-readable finding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from .breakdown import CUDA_SYNC, MEMORY_COPY, compute_breakdown
+from .breakdown import MEMORY_COPY, compute_breakdown
 from .profiler import Profile
-from .utilization import cpu_busy_gpu_idle_fraction, utilization_report
+from .utilization import cpu_busy_gpu_idle_fraction
 
 #: Bottleneck identifiers (stable strings used in reports and tests).
 TEMPORAL_DEPENDENCY = "temporal_data_dependency"

@@ -10,7 +10,7 @@ transfers become "Memory Copy" and synchronisation waits become
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hw.events import KERNEL, SYNC, TRANSFER, WARMUP, Event

@@ -7,19 +7,30 @@ leaving it (after an implicit device synchronisation) produces a
 :class:`Profile` -- an immutable view of everything that happened in between:
 kernel events, transfers, synchronisations, warm-up steps, memory activity
 and the device busy timelines.
+
+Cost model of profiling: event records are cheap slotted dataclasses whose
+region tuples are interned by the machine (all events issued inside one
+region share a single tuple object), the busy counters the capture snapshots
+are maintained incrementally by the timelines (O(1) reads, no event-log
+rescans), and a machine built with ``record_events=False`` skips
+materializing the event stream entirely -- detailed profiling is an opt-in
+cost, not a tax on every simulated action.  A capture on such a machine
+still reports busy/utilization statistics from the timelines but sees an
+empty event list.
 """
 
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from .._compat import DATACLASS_SLOTS
 from ..hw.events import ALLOC, FREE, KERNEL, SYNC, TRANSFER, WARMUP, Event
 from ..hw.machine import Machine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class StreamSnapshot:
     """Per-stream statistics captured over one profiling window.
 
@@ -43,7 +54,7 @@ class StreamSnapshot:
         return self.busy_ms / total if total > 0 else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class DeviceSnapshot:
     """Per-device statistics captured over one profiling window.
 
@@ -322,6 +333,23 @@ class Profiler:
                 machine.synchronize(name="profiler_sync")
             end_ms = machine.host_time_ms
             events = tuple(machine.events.since(start_cursor))
+            # One pass over the window's events builds every per-resource /
+            # per-stream count the snapshots need (the counts used to be
+            # recomputed with a full scan per stream, O(streams x events)).
+            kernel_counts: Dict[Tuple[str, str], int] = {}
+            transfer_counts: Dict[Tuple[str, str], int] = {}
+            for event in events:
+                if event.kind == KERNEL:
+                    key = (event.resource, event.stream)
+                    kernel_counts[key] = kernel_counts.get(key, 0) + 1
+                elif event.kind == TRANSFER:
+                    key = (event.resource, event.stream)
+                    transfer_counts[key] = transfer_counts.get(key, 0) + 1
+            device_kernel_counts: Dict[str, int] = {}
+            for (resource, _), count in kernel_counts.items():
+                device_kernel_counts[resource] = (
+                    device_kernel_counts.get(resource, 0) + count
+                )
             devices = []
             for device in machine.devices:
                 flops = machine.device_flops(device.name) - start_flops.get(
@@ -333,11 +361,7 @@ class Profiler:
                         kind=device.kind,
                         peak_gflops=device.spec.peak_gflops,
                         busy_ms=device.busy_ms() - start_busy[device.name],
-                        kernel_count=sum(
-                            1
-                            for e in events
-                            if e.kind == KERNEL and e.resource == device.name
-                        ),
+                        kernel_count=device_kernel_counts.get(device.name, 0),
                         flops=flops,
                         peak_memory_bytes=device.memory.peak_bytes,
                         start_memory_bytes=start_memory[device.name],
@@ -348,7 +372,8 @@ class Profiler:
                             start_stream_busy[device.name],
                             start_ms,
                             end_ms,
-                            events,
+                            kernel_counts,
+                            transfer_counts,
                         ),
                     )
                 )
@@ -361,7 +386,8 @@ class Profiler:
                         start_link_busy.get(link.name, {}),
                         start_ms,
                         end_ms,
-                        events,
+                        kernel_counts,
+                        transfer_counts,
                     ),
                 )
                 for link in links
@@ -387,7 +413,8 @@ class Profiler:
         start_busy: Dict[str, float],
         start_ms: float,
         end_ms: float,
-        events: Tuple[Event, ...],
+        kernel_counts: Dict[Tuple[str, str], int],
+        transfer_counts: Dict[Tuple[str, str], int],
     ) -> Tuple[StreamSnapshot, ...]:
         """Per-stream busy/idle deltas for one resource over the window."""
         window = max(0.0, end_ms - start_ms)
@@ -400,16 +427,8 @@ class Profiler:
                     name=name,
                     busy_ms=busy_delta,
                     idle_ms=max(0.0, window - busy_delta),
-                    kernel_count=sum(
-                        1
-                        for e in events
-                        if e.kind == KERNEL and e.resource == resource and e.stream == name
-                    ),
-                    transfer_count=sum(
-                        1
-                        for e in events
-                        if e.kind == TRANSFER and e.resource == resource and e.stream == name
-                    ),
+                    kernel_count=kernel_counts.get((resource, name), 0),
+                    transfer_count=transfer_counts.get((resource, name), 0),
                 )
             )
         return tuple(snapshots)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..hw.events import KERNEL, TRANSFER, WARMUP
+from ..hw.events import KERNEL, WARMUP
 from .profiler import Profile
 
 

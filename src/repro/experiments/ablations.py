@@ -15,7 +15,7 @@ These ablations quantify each one on the simulated platform:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from ..core import Profiler, compute_breakdown
 from ..datasets import load as load_dataset

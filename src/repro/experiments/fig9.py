@@ -11,7 +11,7 @@ both the binned utilization series and per-phase summary statistics.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..core import utilization_report
 from ..datasets import load as load_dataset

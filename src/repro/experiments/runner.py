@@ -9,7 +9,7 @@ inference iterations, and extract the quantity the figure/table reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import Profile, Profiler
 from ..hw.machine import Machine

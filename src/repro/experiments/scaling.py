@@ -21,7 +21,7 @@ so the sweep queues by construction where intended.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..datasets import load as load_dataset
 from ..graph.partition import make_partition

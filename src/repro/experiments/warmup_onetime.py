@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..core import Profiler
-from ..datasets import load as load_dataset
 from ..models import build_model
 from .runner import ExperimentResult, new_machine
 

@@ -98,9 +98,33 @@ class EventStream:
 
     # -- slicing -------------------------------------------------------------
 
+    @classmethod
+    def _trusted(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        timestamps: np.ndarray,
+        edge_features: np.ndarray,
+        num_nodes: int,
+    ) -> "EventStream":
+        """Build a stream from arrays already known to satisfy the invariants.
+
+        Contiguous slices and ordered concatenations of validated streams are
+        sorted and well-typed by construction, so re-running the constructor's
+        dtype coercion and monotonicity scan on every mini-batch (the serving
+        batcher creates thousands) is pure overhead.
+        """
+        stream = cls.__new__(cls)
+        stream.src = src
+        stream.dst = dst
+        stream.timestamps = timestamps
+        stream.edge_features = edge_features
+        stream.num_nodes = num_nodes
+        return stream
+
     def slice_indices(self, start: int, stop: int) -> "EventStream":
         """Sub-stream of events with positions in ``[start, stop)``."""
-        return EventStream(
+        return EventStream._trusted(
             self.src[start:stop],
             self.dst[start:stop],
             self.timestamps[start:stop],

@@ -16,17 +16,17 @@ paper's Figs. 7(e)-(h).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
+from .._compat import DATACLASS_SLOTS
 from ..hw.machine import current_machine, has_active_machine
 from .events import EventStream
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class SamplingCostModel:
     """Host-side cost of temporal neighbourhood sampling.
 
@@ -55,7 +55,7 @@ class SamplingCostModel:
         return float(per_target.sum() * 1e-3)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class NeighborhoodSample:
     """Result of one batched temporal-neighbourhood query.
 
@@ -108,25 +108,50 @@ class TemporalNeighborSampler:
 
     @staticmethod
     def _build_index(stream: EventStream):
-        """Per-node lists of (timestamp, neighbour, event index), time-sorted."""
-        adjacency = [[] for _ in range(stream.num_nodes)]
-        for index in range(stream.num_events):
-            s, d, t = int(stream.src[index]), int(stream.dst[index]), float(stream.timestamps[index])
-            adjacency[s].append((t, d, index))
-            adjacency[d].append((t, s, index))
-        packed = []
-        for entries in adjacency:
-            if entries:
-                entries.sort(key=lambda item: item[0])
-                times = np.array([e[0] for e in entries], dtype=np.float64)
-                neighbors = np.array([e[1] for e in entries], dtype=np.int64)
-                event_ids = np.array([e[2] for e in entries], dtype=np.int64)
-            else:
-                times = np.empty(0, dtype=np.float64)
-                neighbors = np.empty(0, dtype=np.int64)
-                event_ids = np.empty(0, dtype=np.int64)
-            packed.append((times, neighbors, event_ids))
-        return packed
+        """Per-node arrays of (timestamps, neighbours, event indices), time-sorted.
+
+        Built with one vectorized stable sort over the doubled event list
+        instead of a Python loop over events.  The ordering is identical to
+        appending each event's (src -> dst) then (dst -> src) entry in event
+        order and stably sorting each node's list by timestamp: the sort key
+        is (node, time, append position), so time ties keep event order and
+        a self-loop's src entry stays ahead of its dst entry.
+        """
+        num_events = stream.num_events
+        num_nodes = stream.num_nodes
+        if num_events == 0:
+            empty = (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+            return [empty for _ in range(num_nodes)]
+        # Entry 2i is event i seen from its source, entry 2i+1 from its
+        # destination -- the same append order as the reference loop.
+        node_ids = np.empty(2 * num_events, dtype=np.int64)
+        node_ids[0::2] = stream.src
+        node_ids[1::2] = stream.dst
+        neighbor_ids = np.empty(2 * num_events, dtype=np.int64)
+        neighbor_ids[0::2] = stream.dst
+        neighbor_ids[1::2] = stream.src
+        entry_times = np.repeat(stream.timestamps.astype(np.float64), 2)
+        position = np.arange(2 * num_events, dtype=np.int64)
+        order = np.lexsort((position, entry_times, node_ids))
+        sorted_nodes = node_ids[order]
+        sorted_times = entry_times[order]
+        sorted_neighbors = neighbor_ids[order]
+        sorted_events = order // 2
+        offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        counts = np.bincount(node_ids, minlength=num_nodes)
+        np.cumsum(counts, out=offsets[1:])
+        return [
+            (
+                sorted_times[offsets[node]:offsets[node + 1]],
+                sorted_neighbors[offsets[node]:offsets[node + 1]],
+                sorted_events[offsets[node]:offsets[node + 1]],
+            )
+            for node in range(num_nodes)
+        ]
 
     # -- queries ----------------------------------------------------------------
 
@@ -155,17 +180,30 @@ class TemporalNeighborSampler:
         event_indices = np.zeros((batch, k), dtype=np.int64)
         mask = np.zeros((batch, k), dtype=np.float32)
         degrees = np.zeros(batch, dtype=np.int64)
-        for row, (node, timestamp) in enumerate(zip(nodes, timestamps)):
-            times, neighbors, event_ids = self._adjacency[int(node)]
-            cutoff = int(np.searchsorted(times, timestamp, side="left"))
+        # Tight loop: the RNG must be consulted in row order with the same
+        # draws as ever (seeded reproducibility), so the rows cannot be
+        # batched -- but the per-row numpy wrapper overhead can go: ndarray
+        # method calls instead of module-level functions, an in-place sort
+        # of the drawn indices, and a slice (not an index array) for the
+        # most-recent-k path.
+        adjacency = self._adjacency
+        uniform = self.uniform
+        choice = self._rng.choice
+        node_list = nodes.tolist()
+        time_list = timestamps.tolist()
+        for row in range(batch):
+            times, neighbors, event_ids = adjacency[node_list[row]]
+            cutoff = int(times.searchsorted(time_list[row], side="left"))
             degrees[row] = cutoff
             if cutoff == 0:
                 continue
-            if self.uniform and cutoff > k:
-                chosen = np.sort(self._rng.choice(cutoff, size=k, replace=False))
+            if uniform and cutoff > k:
+                chosen = choice(cutoff, size=k, replace=False)
+                chosen.sort()
+                count = k
             else:
-                chosen = np.arange(max(0, cutoff - k), cutoff)
-            count = len(chosen)
+                chosen = slice(cutoff - k if cutoff > k else 0, cutoff)
+                count = cutoff if cutoff < k else k
             neighbor_ids[row, :count] = neighbors[chosen]
             neighbor_times[row, :count] = times[chosen]
             event_indices[row, :count] = event_ids[chosen]

@@ -11,13 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .._compat import DATACLASS_SLOTS
 from .memory import MemoryPool
 from .spec import DeviceSpec
 from .stream import Stream, StreamSet
 from .timeline import Interval, Timeline
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class KernelCost:
     """Breakdown of one kernel's simulated cost.
 
@@ -49,24 +50,20 @@ class Device:
         self.memory = MemoryPool(
             spec.name, int(spec.memory_capacity_mb * 1e6), strict=strict_memory
         )
-
-    # -- identity -------------------------------------------------------
-
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def kind(self) -> str:
-        return self.spec.kind
-
-    @property
-    def is_gpu(self) -> bool:
-        return self.spec.is_gpu
-
-    @property
-    def is_cpu(self) -> bool:
-        return self.spec.is_cpu
+        # Identity is immutable (the spec is frozen), so it is cached as
+        # plain attributes: these are read on every kernel launch and every
+        # event record, where property dispatch is measurable overhead.
+        self.name: str = spec.name
+        self.kind: str = spec.kind
+        self.is_gpu: bool = spec.is_gpu
+        self.is_cpu: bool = spec.is_cpu
+        self.default_stream: Stream = self.streams.default
+        #: Memo of :meth:`kernel_cost` keyed by (flops, bytes): DGNN
+        #: inference launches long homogeneous sequences of identically
+        #: shaped kernels (RNN steps, per-head attention blocks, repeated
+        #: mini-batches), so the cost model is recomputed only on the first
+        #: occurrence of each shape.
+        self._cost_cache: Dict[Tuple[float, float], KernelCost] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Device({self.spec.name!r}, kind={self.spec.kind!r})"
@@ -88,6 +85,9 @@ class Device:
         spec's saturation curve, which is the mechanism behind low GPU
         utilization for serialized DGNN updates.
         """
+        cached = self._cost_cache.get((flops, bytes_moved))
+        if cached is not None:
+            return cached
         if flops < 0 or bytes_moved < 0:
             raise ValueError("flops and bytes must be non-negative")
         effective = self.spec.effective_gflops(flops)
@@ -95,18 +95,16 @@ class Device:
         memory_ms = bytes_moved / (self.spec.mem_bandwidth_gbps * 1e6)
         launch_ms = self.spec.launch_overhead_us * 1e-3
         body_ms = max(compute_ms, memory_ms, self.spec.min_kernel_us * 1e-3)
-        return KernelCost(
+        cost = KernelCost(
             compute_ms=compute_ms,
             memory_ms=memory_ms,
             launch_ms=launch_ms,
             duration_ms=launch_ms + body_ms,
         )
+        self._cost_cache[(flops, bytes_moved)] = cost
+        return cost
 
     # -- streams / scheduling -------------------------------------------
-
-    @property
-    def default_stream(self) -> Stream:
-        return self.streams.default
 
     def stream(self, name: str) -> Stream:
         """Look up (creating on first use) a named execution stream."""

@@ -9,8 +9,10 @@ Profiler and NVIDIA Nsight Systems traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
+
+from .._compat import DATACLASS_SLOTS
 
 #: Event kinds.
 KERNEL = "kernel"
@@ -27,7 +29,7 @@ MARKER = "marker"
 _VALID_KINDS = frozenset({KERNEL, TRANSFER, WARMUP, ALLOC, FREE, SYNC, MARKER})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Event:
     """A single timestamped action on a simulated device or link.
 
@@ -100,6 +102,8 @@ class EventLog:
 
     The machine owns one log per run context; profilers snapshot slices of it.
     """
+
+    __slots__ = ("_events",)
 
     def __init__(self) -> None:
         self._events: list[Event] = []

@@ -30,18 +30,16 @@ class Link:
     def __init__(self, spec: LinkSpec) -> None:
         self.spec = spec
         self.streams = StreamSet(spec.name)
+        # Cached identity (the spec is frozen); read on every transfer.
+        self.name: str = spec.name
+        self.default_stream: Stream = self.streams.default
         self._bytes_h2d = 0
         self._bytes_d2h = 0
         self._bytes_p2p = 0
         self._transfers = 0
-
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def default_stream(self) -> Stream:
-        return self.streams.default
+        #: Memo of per-size transfer durations: serving workloads move the
+        #: same few payload shapes over and over.
+        self._transfer_ms_cache: Dict[int, float] = {}
 
     def stream(self, name: str) -> Stream:
         """Look up (creating on first use) a named transfer stream."""
@@ -59,7 +57,11 @@ class Link:
 
     def transfer_ms(self, nbytes: int) -> float:
         """Duration of a transfer of ``nbytes`` bytes."""
-        return self.spec.transfer_ms(nbytes)
+        cached = self._transfer_ms_cache.get(nbytes)
+        if cached is None:
+            cached = self.spec.transfer_ms(nbytes)
+            self._transfer_ms_cache[nbytes] = cached
+        return cached
 
     def schedule(
         self,

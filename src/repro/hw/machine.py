@@ -133,6 +133,15 @@ def has_active_machine() -> bool:
     return bool(_ACTIVE_MACHINE)
 
 
+def active_machine_or_none() -> Optional["Machine"]:
+    """The innermost active machine, or ``None`` (hot-path accessor).
+
+    Equivalent to ``current_machine() if has_active_machine() else None``
+    in a single call; tensor operators use it on every kernel launch.
+    """
+    return _ACTIVE_MACHINE[-1] if _ACTIVE_MACHINE else None
+
+
 class Machine:
     """A host CPU, its GPU complement, and the links connecting them."""
 
@@ -145,6 +154,7 @@ class Machine:
         strict_memory: bool = False,
         num_gpus: int = 1,
         peer_link_spec: Optional[LinkSpec] = None,
+        record_events: bool = True,
     ) -> None:
         if gpu_spec is None:
             num_gpus = 0
@@ -165,8 +175,24 @@ class Machine:
         )
         self.warmup_spec = warmup_spec
         self.events = EventLog()
+        #: Whether simulated actions are materialized as :class:`Event`
+        #: records in :attr:`events`.  Scheduling, timelines, memory pools
+        #: and the host clock are identical either way; disabling recording
+        #: only skips building the profiler's event stream, making detailed
+        #: profiling an opt-in cost (the benchmark harness uses this for
+        #: pure-simulation-speed runs).
+        self.record_events = record_events
         self._host_time = 0.0
+        #: Count of simulated actions (kernels, transfers, syncs, ...);
+        #: maintained even when event recording is off so throughput
+        #: metrics (events/sec) stay available.
+        self._event_count = 0
         self._region_stack: List[str] = []
+        #: Interned copy of the region stack as a tuple.  Every event used
+        #: to build a fresh tuple from the stack; the cached tuple changes
+        #: only when a region is entered or left, so all events issued in
+        #: one region share one tuple object.
+        self._region_tuple: tuple = ()
         #: Names of GPUs whose context has been created (warm-up is per GPU).
         self._ready_gpus: set = set()
         #: Device the :attr:`compute_device` property currently resolves to
@@ -197,7 +223,10 @@ class Machine:
 
     @classmethod
     def from_spec(
-        cls, spec: Union[str, MachineSpec], strict_memory: bool = False
+        cls,
+        spec: Union[str, MachineSpec],
+        strict_memory: bool = False,
+        record_events: bool = True,
     ) -> "Machine":
         """Build a machine from a :class:`~repro.hw.spec.MachineSpec` preset.
 
@@ -214,6 +243,7 @@ class Machine:
             strict_memory=strict_memory,
             num_gpus=max(resolved.num_gpus, 1) if resolved.gpu is not None else 0,
             peer_link_spec=resolved.peer_link,
+            record_events=record_events,
         )
 
     # -- device selection -----------------------------------------------
@@ -357,37 +387,42 @@ class Machine:
             else:
                 self._current_streams[resource] = previous
 
+    # -- event emission ---------------------------------------------------
+
+    def _emit(self, **fields) -> Optional[Event]:
+        """Count one simulated action and record it when recording is on."""
+        self._event_count += 1
+        if not self.record_events:
+            return None
+        event = Event(region=self._region_tuple, **fields)
+        self.events.append(event)
+        return event
+
     # -- stream events ----------------------------------------------------
 
     def record_event(self, stream: Stream, name: str = "event") -> StreamEvent:
         """Record a completion marker on ``stream`` (``cudaEventRecord``)."""
         event = stream.record_event(self._host_time, name=name)
-        self.events.append(
-            Event(
-                kind=MARKER,
-                name=f"record:{name}",
-                resource=stream.resource,
-                start_ms=self._host_time,
-                end_ms=self._host_time,
-                region=self.current_region,
-                stream=stream.name,
-            )
+        self._emit(
+            kind=MARKER,
+            name=f"record:{name}",
+            resource=stream.resource,
+            start_ms=self._host_time,
+            end_ms=self._host_time,
+            stream=stream.name,
         )
         return event
 
     def wait_event(self, stream: Stream, event: StreamEvent) -> None:
         """Make work issued to ``stream`` after this call wait for ``event``."""
         stream.wait_event(event)
-        self.events.append(
-            Event(
-                kind=MARKER,
-                name=f"wait:{event.name}",
-                resource=stream.resource,
-                start_ms=self._host_time,
-                end_ms=self._host_time,
-                region=self.current_region,
-                stream=stream.name,
-            )
+        self._emit(
+            kind=MARKER,
+            name=f"wait:{event.name}",
+            resource=stream.resource,
+            start_ms=self._host_time,
+            end_ms=self._host_time,
+            stream=stream.name,
         )
 
     # -- activation ------------------------------------------------------
@@ -425,16 +460,37 @@ class Machine:
         "iteration", or inner module such as "Sampling").
         """
         self._region_stack.append(label)
+        self._region_tuple = tuple(self._region_stack)
         try:
             yield
         finally:
             self._region_stack.pop()
+            self._region_tuple = tuple(self._region_stack)
 
     @property
     def current_region(self) -> tuple:
-        return tuple(self._region_stack)
+        return self._region_tuple
 
     # -- kernels -----------------------------------------------------------
+
+    def _resolve_kernel_stream(
+        self, device: Device, stream: Optional[Stream]
+    ) -> Stream:
+        """The stream a kernel launch targets (shared by both launch paths).
+
+        An explicit ``stream`` is validated against the device; otherwise the
+        machine's current-stream override for the device wins, falling back
+        to the device's default stream.
+        """
+        if stream is not None:
+            if stream.resource != device.name:
+                raise ValueError(
+                    f"stream {stream.name!r} belongs to {stream.resource!r}, "
+                    f"not to device {device.name!r}"
+                )
+            return stream
+        target = self._current_streams.get(device.name)
+        return target if target is not None else device.default_stream
 
     def launch_kernel(
         self,
@@ -443,8 +499,11 @@ class Machine:
         flops: float,
         bytes_moved: float,
         stream: Optional[Stream] = None,
-    ) -> Event:
+    ) -> Optional[Event]:
         """Launch a compute kernel on ``device`` and record the event.
+
+        Returns the recorded :class:`Event`, or ``None`` when event
+        recording is disabled (``record_events=False``).
 
         The kernel queues on ``stream`` (the device's *current* stream when
         omitted).  GPU kernels are always asynchronous: the host pays only
@@ -452,37 +511,107 @@ class Machine:
         the CPU's default stream (the seed semantics) and model a worker
         thread -- asynchronous enqueue -- on any named CPU stream.
         """
-        target = stream if stream is not None else self.current_stream(device)
+        target = self._resolve_kernel_stream(device, stream)
         cost = device.kernel_cost(flops, bytes_moved)
         if device.is_gpu:
             if device.name not in self._ready_gpus:
                 self.initialize_gpu(model_bytes=0, device=device)
             self._host_time += device.spec.host_overhead_us * 1e-3
-            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
+            interval = target.reserve(self._host_time, cost.duration_ms, name)
         elif target.is_default:
-            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
+            interval = target.reserve(self._host_time, cost.duration_ms, name)
             self._host_time = interval.end_ms
         else:
             self._host_time += device.spec.host_overhead_us * 1e-3
-            interval = device.schedule(self._host_time, cost.duration_ms, name, stream=target)
+            interval = target.reserve(self._host_time, cost.duration_ms, name)
         self._device_flops[device.name] = self._device_flops.get(device.name, 0.0) + flops
+        self._event_count += 1
+        if not self.record_events:
+            return None
+        # Positional construction: this is the hottest event-emission site.
         event = Event(
-            kind=KERNEL,
-            name=name,
-            resource=device.name,
-            start_ms=interval.start_ms,
-            end_ms=interval.end_ms,
-            flops=flops,
-            bytes=int(bytes_moved),
-            region=self.current_region,
-            stream=target.name,
+            KERNEL,
+            name,
+            device.name,
+            interval.start_ms,
+            interval.end_ms,
+            flops,
+            int(bytes_moved),
+            self._region_tuple,
+            "",
+            "",
+            target.name,
         )
         self.events.append(event)
         return event
 
+    def launch_kernels(
+        self,
+        device: Device,
+        name: str,
+        count: int,
+        flops: float,
+        bytes_moved: float,
+        stream: Optional[Stream] = None,
+    ) -> List[Event]:
+        """Launch ``count`` identical kernels back to back (batched charging).
+
+        Byte-identical to calling :meth:`launch_kernel` ``count`` times with
+        the same arguments -- same intervals, same events, same host-cursor
+        movement -- but the stream resolution, cost-model lookup and warm-up
+        check are hoisted out of the loop, so homogeneous op sequences (RNN
+        steps, per-window encoder stacks, repeated identical layers) charge
+        in a tight loop instead of re-resolving per launch.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        target = self._resolve_kernel_stream(device, stream)
+        is_gpu = device.is_gpu
+        if is_gpu and device.name not in self._ready_gpus:
+            self.initialize_gpu(model_bytes=0, device=device)
+        cost = device.kernel_cost(flops, bytes_moved)
+        duration = cost.duration_ms
+        overhead = device.spec.host_overhead_us * 1e-3
+        asynchronous = is_gpu or not target.is_default
+        resource = device.name
+        region = self._region_tuple
+        stream_name = target.name
+        record = self.record_events
+        ibytes = int(bytes_moved)
+        flop_totals = self._device_flops
+        events: List[Event] = []
+        for _ in range(count):
+            if asynchronous:
+                self._host_time += overhead
+                interval = target.reserve(self._host_time, duration, name)
+            else:
+                interval = target.reserve(self._host_time, duration, name)
+                self._host_time = interval.end_ms
+            flop_totals[resource] = flop_totals.get(resource, 0.0) + flops
+            if record:
+                events.append(
+                    Event(
+                        kind=KERNEL,
+                        name=name,
+                        resource=resource,
+                        start_ms=interval.start_ms,
+                        end_ms=interval.end_ms,
+                        flops=flops,
+                        bytes=ibytes,
+                        region=region,
+                        stream=stream_name,
+                    )
+                )
+        self._event_count += count
+        if record:
+            self.events.extend(events)
+        return events
+
     def host_work(
         self, name: str, duration_ms: float, stream: Optional[Stream] = None
-    ) -> Event:
+    ) -> Optional[Event]:
         """Charge host-only work (Python bookkeeping, data loading) to the CPU.
 
         On the CPU's default stream the host blocks until completion (seed
@@ -495,13 +624,16 @@ class Machine:
             self._host_time = interval.end_ms
         else:
             interval = self.cpu.schedule(self._host_time, duration_ms, name, stream=target)
+        self._event_count += 1
+        if not self.record_events:
+            return None
         event = Event(
             kind=KERNEL,
             name=name,
             resource=self.cpu.name,
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
-            region=self.current_region,
+            region=self._region_tuple,
             stream=target.name,
         )
         self.events.append(event)
@@ -519,7 +651,7 @@ class Machine:
         stream: Optional[Stream] = None,
         after: Optional[StreamEvent] = None,
         wait_for_source: bool = True,
-    ) -> Event:
+    ) -> Optional[Event]:
         """Move ``nbytes`` between devices over the topology's links.
 
         The route is resolved by the :class:`~repro.hw.topology.Topology`:
@@ -594,46 +726,46 @@ class Machine:
                 self._host_time += hop.link.spec.host_overhead_us * 1e-3
             else:
                 self._host_time = interval.end_ms
-            event = Event(
-                kind=TRANSFER,
-                name=name,
-                resource=hop.link.name,
-                start_ms=interval.start_ms,
-                end_ms=interval.end_ms,
-                bytes=nbytes,
-                region=self.current_region,
-                src=src.name,
-                dst=dst.name,
-                stream=target.name,
-            )
-            self.events.append(event)
+            self._event_count += 1
+            if self.record_events:
+                event = Event(
+                    kind=TRANSFER,
+                    name=name,
+                    resource=hop.link.name,
+                    start_ms=interval.start_ms,
+                    end_ms=interval.end_ms,
+                    bytes=nbytes,
+                    region=self._region_tuple,
+                    src=src.name,
+                    dst=dst.name,
+                    stream=target.name,
+                )
+                self.events.append(event)
             # A staged route's second hop cannot start before the first
             # hop's copy has landed in host memory.
             ready = interval.end_ms
-        assert event is not None
         return event
 
     # -- synchronisation ------------------------------------------------------
 
-    def synchronize(self, name: str = "cuda_sync") -> Event:
+    def synchronize(self, name: str = "cuda_sync") -> Optional[Event]:
         """Block the host until all queued work on all streams has completed."""
         start = self._host_time
         pending = max((d.free_at for d in self.devices), default=start)
         pending = max(pending, self.topology.free_at)
         end = max(start, pending)
         self._host_time = end
-        event = Event(
+        return self._emit(
             kind=SYNC,
             name=name,
             resource=self.cpu.name,
             start_ms=start,
             end_ms=end,
-            region=self.current_region,
         )
-        self.events.append(event)
-        return event
 
-    def device_synchronize(self, device: Union[Device, str], name: str = "device_sync") -> Event:
+    def device_synchronize(
+        self, device: Union[Device, str], name: str = "device_sync"
+    ) -> Optional[Event]:
         """Block the host until one device's streams have all drained.
 
         The multi-GPU analogue of ``torch.cuda.synchronize(device)``: a
@@ -645,50 +777,43 @@ class Machine:
         start = self._host_time
         end = max(start, device.free_at)
         self._host_time = end
-        event = Event(
+        return self._emit(
             kind=SYNC,
             name=name,
             resource=device.name,
             start_ms=start,
             end_ms=end,
-            region=self.current_region,
         )
-        self.events.append(event)
-        return event
 
-    def stream_synchronize(self, stream: Stream, name: str = "stream_sync") -> Event:
+    def stream_synchronize(self, stream: Stream, name: str = "stream_sync") -> Optional[Event]:
         """Block the host until one stream's queued work has completed."""
         start = self._host_time
         end = max(start, stream.free_at)
         self._host_time = end
-        event = Event(
+        return self._emit(
             kind=SYNC,
             name=name,
             resource=stream.resource,
             start_ms=start,
             end_ms=end,
-            region=self.current_region,
             stream=stream.name,
         )
-        self.events.append(event)
-        return event
 
-    def event_synchronize(self, stream_event: StreamEvent, name: str = "event_sync") -> Event:
+    def event_synchronize(
+        self, stream_event: StreamEvent, name: str = "event_sync"
+    ) -> Optional[Event]:
         """Block the host until a recorded stream event is ready."""
         start = self._host_time
         end = max(start, stream_event.ready_ms)
         self._host_time = end
-        event = Event(
+        return self._emit(
             kind=SYNC,
             name=name,
             resource=stream_event.resource,
             start_ms=start,
             end_ms=end,
-            region=self.current_region,
             stream=stream_event.stream,
         )
-        self.events.append(event)
-        return event
 
     # -- warm-up ------------------------------------------------------------
 
@@ -722,21 +847,20 @@ class Machine:
         context_ms = self.warmup_spec.context_init_ms
         interval = gpu.schedule(self._host_time, context_ms, "context_init")
         self._host_time = interval.end_ms
-        context_event = Event(
+        context_event = self._emit(
             kind=WARMUP,
             name="context_init",
             resource=gpu.name,
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
-            region=self.current_region,
             stream=gpu.default_stream.name,
         )
-        self.events.append(context_event)
-        emitted.append(context_event)
+        if context_event is not None:
+            emitted.append(context_event)
         if model_bytes > 0:
-            emitted.append(
-                self.transfer(self.cpu, gpu, model_bytes, name="weight_upload")
-            )
+            upload = self.transfer(self.cpu, gpu, model_bytes, name="weight_upload")
+            if upload is not None:
+                emitted.append(upload)
         return emitted
 
     def allocation_warmup(
@@ -757,50 +881,41 @@ class Machine:
         duration = self.warmup_spec.allocation_warmup_ms(footprint_bytes / 1e6)
         interval = gpu.schedule(self._host_time, duration, "allocation_warmup")
         self._host_time = interval.end_ms
-        event = Event(
+        return self._emit(
             kind=WARMUP,
             name="allocation_warmup",
             resource=gpu.name,
             start_ms=interval.start_ms,
             end_ms=interval.end_ms,
             bytes=footprint_bytes,
-            region=self.current_region,
             stream=gpu.default_stream.name,
         )
-        self.events.append(event)
-        return event
 
     # -- memory ------------------------------------------------------------
 
     def alloc(self, device: Device, nbytes: int, tag: str = "") -> int:
         """Register a device allocation and emit an ``alloc`` event."""
         alloc_id = device.memory.alloc(nbytes, tag=tag, at_ms=self._host_time)
-        self.events.append(
-            Event(
-                kind=ALLOC,
-                name=tag or "alloc",
-                resource=device.name,
-                start_ms=self._host_time,
-                end_ms=self._host_time,
-                bytes=nbytes,
-                region=self.current_region,
-            )
+        self._emit(
+            kind=ALLOC,
+            name=tag or "alloc",
+            resource=device.name,
+            start_ms=self._host_time,
+            end_ms=self._host_time,
+            bytes=nbytes,
         )
         return alloc_id
 
     def free(self, device: Device, alloc_id: int) -> int:
         """Release a device allocation and emit a ``free`` event."""
         nbytes = device.memory.free(alloc_id, at_ms=self._host_time)
-        self.events.append(
-            Event(
-                kind=FREE,
-                name="free",
-                resource=device.name,
-                start_ms=self._host_time,
-                end_ms=self._host_time,
-                bytes=nbytes,
-                region=self.current_region,
-            )
+        self._emit(
+            kind=FREE,
+            name="free",
+            resource=device.name,
+            start_ms=self._host_time,
+            end_ms=self._host_time,
+            bytes=nbytes,
         )
         return nbytes
 
@@ -816,7 +931,9 @@ class Machine:
             return 0.0
         return self.gpu.utilization(start_ms, end_ms)
 
-    def device_utilization(self, device: Union[Device, str], start_ms: float, end_ms: float) -> float:
+    def device_utilization(
+        self, device: Union[Device, str], start_ms: float, end_ms: float
+    ) -> float:
         """One device's busy fraction over a window (device named explicitly)."""
         if isinstance(device, str):
             device = self.device(device)
@@ -825,6 +942,11 @@ class Machine:
     def event_cursor(self) -> int:
         """Current position in the event log (for profiler snapshots)."""
         return len(self.events)
+
+    @property
+    def event_count(self) -> int:
+        """Total simulated actions so far (counted even with recording off)."""
+        return self._event_count
 
     def device_flops(self, name: str) -> float:
         """Running FLOP total charged to one device since machine creation."""

@@ -19,7 +19,7 @@ realistic achievable values; what matters for reproducing the paper is the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Union
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .._compat import DATACLASS_SLOTS
 from .timeline import Interval, Timeline
 
 #: Name of the implicit stream every resource starts with.
@@ -36,7 +37,7 @@ DEFAULT_STREAM = "default"
 COPY_STREAM = "copy"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class StreamEvent:
     """A recorded point in a stream's queue (``cudaEvent_t`` analogue).
 
@@ -62,6 +63,8 @@ class Stream:
     code.  A stream owns its busy :class:`~repro.hw.timeline.Timeline` and a
     monotone ``not-before`` floor raised by :meth:`wait_event`.
     """
+
+    __slots__ = ("resource", "name", "timeline", "_not_before")
 
     def __init__(self, resource: str, name: str) -> None:
         self.resource = resource
@@ -115,9 +118,13 @@ class StreamSet:
     different streams are not double counted, so utilization stays <= 1).
     """
 
+    __slots__ = ("resource", "_streams", "_union_cache")
+
     def __init__(self, resource: str) -> None:
         self.resource = resource
         self._streams: Dict[str, Stream] = {DEFAULT_STREAM: Stream(resource, DEFAULT_STREAM)}
+        #: (version, value) memo for the unclipped multi-stream union scan.
+        self._union_cache: Tuple[int, float] = (-1, 0.0)
 
     # -- access ---------------------------------------------------------
 
@@ -153,10 +160,32 @@ class StreamSet:
     def busy_ms(
         self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
     ) -> float:
-        """Union busy time across all streams, optionally clipped to a window."""
-        return union_busy_ms(
-            (stream.timeline for stream in self._streams.values()), start_ms, end_ms
-        )
+        """Union busy time across all streams, optionally clipped to a window.
+
+        Resources whose work all landed on a single stream (the seed's
+        default-stream-only schedules) answer from the timeline's
+        incrementally maintained merged-run total instead of rescanning;
+        unclipped multi-stream unions are memoized per interval count so
+        repeated profiler snapshots stay O(1) between new work.
+        """
+        active = [
+            stream.timeline
+            for stream in self._streams.values()
+            if len(stream.timeline)
+        ]
+        if not active:
+            return 0.0
+        if len(active) == 1:
+            return active[0].merged_busy_ms(start_ms, end_ms)
+        if start_ms is None and end_ms is None:
+            version = sum(len(timeline) for timeline in active)
+            cached_version, cached_value = self._union_cache
+            if cached_version == version:
+                return cached_value
+            value = union_busy_ms(active, None, None)
+            self._union_cache = (version, value)
+            return value
+        return union_busy_ms(active, start_ms, end_ms)
 
     def per_stream_busy_ms(
         self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
@@ -183,7 +212,10 @@ def union_busy_ms(
     hi = end_ms if end_ms is not None else float("inf")
     spans: List[Tuple[float, float]] = []
     for timeline in timelines:
-        for interval in timeline:
+        first, last = timeline._overlap_range(lo, hi)
+        intervals = timeline._intervals
+        for index in range(first, last):
+            interval = intervals[index]
             clipped_lo = max(interval.start_ms, lo)
             clipped_hi = min(interval.end_ms, hi)
             if clipped_hi > clipped_lo:

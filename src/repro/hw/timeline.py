@@ -5,15 +5,30 @@ device's execution units or the PCIe link).  It answers the questions the
 paper asks of Nsight traces: how busy was the GPU over a window (utilization),
 when does the resource next become free (for scheduling), and how does
 utilization evolve over time (Fig. 9's utilization-vs-time plots).
+
+Hot-path accounting: the simulator used to rescan the full interval list on
+every ``busy_ms`` query, which made repeated profiler captures and binned
+utilization series O(n^2) over a run.  The timeline now maintains running
+totals and parallel start/end arrays as intervals are reserved, so
+
+* unclipped ``busy_ms()`` is O(1) (a stored running sum, accumulated in
+  insertion order so the float result is bit-identical to the old scan);
+* windowed ``busy_ms(lo, hi)`` binary-searches the overlapping range and
+  only walks the intervals that actually intersect the window;
+* the contiguous-run union total that :func:`repro.hw.stream.union_busy_ms`
+  needs for single-stream resources is maintained incrementally.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
+
+from .._compat import DATACLASS_SLOTS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Interval:
     """A closed-open busy interval ``[start_ms, end_ms)`` with a label."""
 
@@ -38,16 +53,43 @@ class Timeline:
     this class enforces that invariant.
     """
 
+    __slots__ = (
+        "name",
+        "_intervals",
+        "_starts",
+        "_ends",
+        "_busy_total",
+        "_merged_total",
+        "_run_start",
+        "_run_end",
+        "_disjoint",
+    )
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._intervals: List[Interval] = []
+        # Scheduling keeps intervals sorted and disjoint; reporting-only
+        # timelines built by :meth:`merged` may overlap and fall back to a
+        # full scan for window queries.
+        self._disjoint = True
+        # Parallel arrays for O(log n) window queries.
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        # Running sum of durations, accumulated in insertion order so the
+        # float value matches the old full rescan bit for bit.
+        self._busy_total = 0.0
+        # Incremental merged-run accounting for union_busy_ms: completed
+        # contiguous runs plus the currently open run [run_start, run_end).
+        self._merged_total = 0.0
+        self._run_start = 0.0
+        self._run_end = 0.0
 
     # -- recording ------------------------------------------------------
 
     @property
     def free_at(self) -> float:
         """Earliest time at which the resource is free."""
-        return self._intervals[-1].end_ms if self._intervals else 0.0
+        return self._ends[-1] if self._ends else 0.0
 
     def reserve(self, ready_ms: float, duration_ms: float, label: str = "") -> Interval:
         """Schedule a busy interval of ``duration_ms`` starting no earlier
@@ -57,9 +99,28 @@ class Timeline:
         """
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
-        start = max(ready_ms, self.free_at)
-        interval = Interval(start, start + duration_ms, label)
+        last_end = self._ends[-1] if self._ends else 0.0
+        start = ready_ms if ready_ms > last_end else last_end
+        end = start + duration_ms
+        interval = Interval(start, end, label)
         self._intervals.append(interval)
+        self._starts.append(start)
+        self._ends.append(end)
+        # Accumulate end - start (not duration_ms): the old full rescan
+        # summed interval.duration_ms, and start + d - start can differ from
+        # d in the last ulp.
+        self._busy_total += end - start
+        # Merged-run bookkeeping: a gap closes the open run, a touching or
+        # first interval extends it (start >= last_end always holds here).
+        if len(self._intervals) == 1:
+            self._run_start = start
+            self._run_end = end
+        elif start > self._run_end:
+            self._merged_total += self._run_end - self._run_start
+            self._run_start = start
+            self._run_end = end
+        else:
+            self._run_end = end
         return interval
 
     # -- queries --------------------------------------------------------
@@ -77,14 +138,63 @@ class Timeline:
     def busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
         """Total busy time, optionally clipped to a window."""
         if start_ms is None and end_ms is None:
-            return sum(i.duration_ms for i in self._intervals)
+            return self._busy_total
         lo = start_ms if start_ms is not None else float("-inf")
         hi = end_ms if end_ms is not None else float("inf")
+        first, last = self._overlap_range(lo, hi)
         total = 0.0
-        for interval in self._intervals:
-            overlap = min(interval.end_ms, hi) - max(interval.start_ms, lo)
+        starts = self._starts
+        ends = self._ends
+        for index in range(first, last):
+            overlap = min(ends[index], hi) - max(starts[index], lo)
             if overlap > 0:
                 total += overlap
+        return total
+
+    def _overlap_range(self, lo: float, hi: float) -> Tuple[int, int]:
+        """Index range [first, last) of intervals that may overlap [lo, hi)."""
+        if not self._disjoint:
+            return 0, len(self._intervals)
+        # Intervals are sorted and disjoint: everything ending at or before
+        # ``lo`` and everything starting at or after ``hi`` is irrelevant.
+        first = bisect_right(self._ends, lo)
+        last = bisect_left(self._starts, hi)
+        return first, last
+
+    def merged_busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
+        """Busy time with touching intervals merged into contiguous runs.
+
+        This reproduces exactly the accumulation order of
+        :func:`repro.hw.stream.union_busy_ms` over a single timeline (sum of
+        ``run_end - run_start`` per gap-separated run), which differs from
+        :meth:`busy_ms` only in float rounding.  The unclipped value is
+        maintained incrementally and returned in O(1).
+        """
+        if start_ms is None and end_ms is None:
+            if not self._intervals:
+                return 0.0
+            return self._merged_total + (self._run_end - self._run_start)
+        lo = start_ms if start_ms is not None else float("-inf")
+        hi = end_ms if end_ms is not None else float("inf")
+        first, last = self._overlap_range(lo, hi)
+        starts = self._starts
+        ends = self._ends
+        total = 0.0
+        run_lo = run_hi = None
+        for index in range(first, last):
+            span_lo = max(starts[index], lo)
+            span_hi = min(ends[index], hi)
+            if span_hi <= span_lo:
+                continue
+            if run_lo is None:
+                run_lo, run_hi = span_lo, span_hi
+            elif span_lo > run_hi:
+                total += run_hi - run_lo
+                run_lo, run_hi = span_lo, span_hi
+            else:
+                run_hi = max(run_hi, span_hi)
+        if run_lo is not None:
+            total += run_hi - run_lo
         return total
 
     def utilization(self, start_ms: float, end_ms: float) -> float:
@@ -118,7 +228,7 @@ class Timeline:
         """(first start, last end) of the recorded intervals; (0, 0) if empty."""
         if not self._intervals:
             return (0.0, 0.0)
-        return (self._intervals[0].start_ms, self._intervals[-1].end_ms)
+        return (self._starts[0], self._ends[-1])
 
     def idle_gaps(self, min_gap_ms: float = 0.0) -> List[Interval]:
         """Idle gaps between consecutive busy intervals longer than ``min_gap_ms``.
@@ -140,8 +250,24 @@ class Timeline:
         only for reporting, not for further scheduling.
         """
         merged = Timeline(name or f"{self.name}+{other.name}")
-        merged._intervals = sorted(
+        merged._disjoint = False
+        run_lo = run_hi = None
+        for interval in sorted(
             list(self._intervals) + list(other._intervals),
             key=lambda i: (i.start_ms, i.end_ms),
-        )
+        ):
+            merged._intervals.append(interval)
+            merged._starts.append(interval.start_ms)
+            merged._ends.append(interval.end_ms)
+            merged._busy_total += interval.duration_ms
+            if run_lo is None:
+                run_lo, run_hi = interval.start_ms, interval.end_ms
+            elif interval.start_ms > run_hi:
+                merged._merged_total += run_hi - run_lo
+                run_lo, run_hi = interval.start_ms, interval.end_ms
+            else:
+                run_hi = max(run_hi, interval.end_ms)
+        if run_lo is not None:
+            merged._run_start = run_lo
+            merged._run_end = run_hi
         return merged

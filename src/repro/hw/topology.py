@@ -26,12 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .._compat import DATACLASS_SLOTS
 from .device import Device
 from .link import Link
 from .spec import LinkSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Hop:
     """One leg of a transfer route: a link plus the transfer direction."""
 
@@ -84,6 +85,14 @@ class Topology:
                         name=f"{peer_link_spec.name}:{a.name}-{b.name}",
                     )
                     self._peer_links[(a.name, b.name)] = Link(spec)
+        #: Memo of :meth:`route` results keyed by (src, dst) device names.
+        #: Routes are pure functions of the (immutable) link complement, and
+        #: every transfer used to recompute its hop list from scratch.
+        self._route_cache: Dict[Tuple[str, str], List[Hop]] = {}
+        #: Memo for :meth:`link_named` (linear scan otherwise).
+        self._links_by_name: Dict[str, Link] = {
+            link.name: link for link in self.links
+        }
 
     # -- access ---------------------------------------------------------
 
@@ -114,10 +123,7 @@ class Topology:
 
     def link_named(self, name: str) -> Optional[Link]:
         """Look a link up by its (instance) name."""
-        for link in self.links:
-            if link.name == name:
-                return link
-        return None
+        return self._links_by_name.get(name)
 
     # -- routing --------------------------------------------------------
 
@@ -127,7 +133,20 @@ class Topology:
         host<->GPU copies take the GPU's host link; GPU<->GPU copies take the
         direct peer link when one exists and otherwise stage through the two
         host links (d2h on the source's link, then h2d on the destination's).
+
+        Routes are memoized per (src, dst) pair: the link complement never
+        changes after construction, so the lookup is a dict hit on every
+        transfer after the first.
         """
+        key = (src.name, dst.name)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        hops = self._compute_route(src, dst)
+        self._route_cache[key] = hops
+        return hops
+
+    def _compute_route(self, src: Device, dst: Device) -> List[Hop]:
         if src.name == dst.name:
             raise ValueError("transfer requires two distinct devices")
         if src.is_gpu and dst.is_gpu:

@@ -21,7 +21,7 @@ Region labels match Fig. 7(c): ``Etc(data loading, cuda sync)``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -35,7 +35,6 @@ from ..nn import (
     normalized_adjacency,
 )
 from ..nn import init as nn_init
-from ..nn.module import Parameter
 from ..tensor import Tensor, ops
 from .base import DGNNModel, DISCRETE, ModelCard
 

@@ -20,7 +20,7 @@ Every model in :mod:`repro.models` follows the same contract:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Sequence, Tuple
 
 import numpy as np

@@ -18,7 +18,7 @@ with transfers reported as ``Memory Copy``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 

@@ -23,7 +23,7 @@ Region labels match Fig. 7(d): ``Load Embedding``, ``Project User Embedding``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 

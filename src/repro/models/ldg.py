@@ -24,10 +24,8 @@ from ..graph.events import EventStream
 from ..hw.machine import Machine
 from ..nn import MLP, GRUCell
 from ..nn import init as nn_init
-from ..nn.module import Parameter
 from ..tensor import Tensor, ops
 from .base import CONTINUOUS, DGNNModel, ModelCard
-from .dyrep import DyRepConfig
 
 
 @dataclass(frozen=True)

@@ -19,12 +19,11 @@ Region labels match Fig. 7(b): ``GCN``, ``LSTM``, ``FFN`` (transfers appear as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from ..datasets.base import MolecularDataset
-from ..graph.snapshots import SnapshotSequence
 from ..hw.machine import Machine
 from ..nn import MLP, LSTMCell, Linear, normalized_adjacency
 from ..nn import init as nn_init

@@ -31,7 +31,7 @@ from ..hw.machine import Machine
 from ..nn import MLP, BochnerTimeEncoder, GRUCell, Linear, TemporalNeighborAttention
 from ..nn import init as nn_init
 from ..tensor import Tensor, ops
-from .base import CONTINUOUS, DGNNModel, ModelCard, nbytes_of
+from .base import CONTINUOUS, DGNNModel, ModelCard
 
 
 @dataclass(frozen=True)

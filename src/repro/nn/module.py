@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..hw.device import Device
 from ..tensor.tensor import Tensor
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.breakdown import MEMORY_COPY, compute_breakdown
+from ..core.breakdown import compute_breakdown
 from ..core.profiler import Profile
 from ..hw.stream import Stream, StreamEvent
 

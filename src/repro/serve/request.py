@@ -10,7 +10,7 @@ telemetry layer derives the queueing/service/total latency split from them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 

@@ -27,7 +27,7 @@ maps out.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..core.profiler import Profiler
 from ..hw.stream import StreamEvent

@@ -17,12 +17,13 @@ seed simulator.
 
 from __future__ import annotations
 
+from math import prod as _prod
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..hw.device import Device
-from ..hw.machine import current_machine, has_active_machine
+from ..hw.machine import active_machine_or_none
 from . import costs
 from .tensor import Tensor, ensure_same_device
 
@@ -35,8 +36,9 @@ def _record(device: Device, name: str, flops: float, bytes_moved: float) -> None
     The kernel queues on the machine's current stream for ``device``, which
     is the default stream unless the caller is inside ``use_stream``.
     """
-    if has_active_machine():
-        current_machine().launch_kernel(device, name, flops, bytes_moved)
+    machine = active_machine_or_none()
+    if machine is not None:
+        machine.launch_kernel(device, name, flops, bytes_moved)
 
 
 def _binary_operands(a: Tensor, b: Union[Tensor, Scalar]) -> Tuple[Tensor, Tensor, Device]:
@@ -54,9 +56,10 @@ def matmul(a: Tensor, b: Tensor, name: str = "gemm") -> Tensor:
     device = ensure_same_device(a, b)
     result = np.matmul(a.data, b.data)
     if a.ndim >= 2 and b.ndim >= 2:
-        m, k = a.shape[-2], a.shape[-1]
-        n = b.shape[-1]
-        batch = int(np.prod(result.shape[:-2])) if result.ndim > 2 else 1
+        a_shape = a.data.shape
+        m, k = a_shape[-2], a_shape[-1]
+        n = b.data.shape[-1]
+        batch = _prod(result.shape[:-2]) if result.ndim > 2 else 1
         flops, traffic = costs.batched_matmul_cost(batch, m, k, n)
     else:
         flops, traffic = costs.matmul_cost(1, a.shape[-1], 1)
@@ -67,11 +70,13 @@ def matmul(a: Tensor, b: Tensor, name: str = "gemm") -> Tensor:
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` as one fused kernel."""
     device = ensure_same_device(x, weight) if bias is None else ensure_same_device(x, weight, bias)
+    x_shape = x.data.shape
     result = x.data @ weight.data.T
     if bias is not None:
-        result = result + bias.data
-    rows = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
-    flops, traffic = costs.matmul_cost(rows, x.shape[-1], weight.shape[0])
+        # In-place: the matmul result is a fresh array, so no copy is needed.
+        result += bias.data
+    rows = _prod(x_shape[:-1]) if len(x_shape) > 1 else 1
+    flops, traffic = costs.matmul_cost(rows, x_shape[-1], weight.data.shape[0])
     if bias is not None:
         flops += result.size
     _record(device, "linear", flops, traffic)
@@ -271,7 +276,7 @@ def gather_rows(x: Tensor, indices: Union[Tensor, np.ndarray, Sequence[int]]) ->
     gathers are the memory-unfriendly accesses the paper singles out.
     """
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    idx = idx.astype(np.int64)
+    idx = idx.astype(np.int64, copy=False)
     result = x.data[idx]
     flops, traffic = costs.gather_cost(result.shape)
     _record(x.device, "gather", flops, traffic)
@@ -287,7 +292,7 @@ def scatter_rows(
     """
     device = ensure_same_device(x, updates)
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    idx = idx.astype(np.int64)
+    idx = idx.astype(np.int64, copy=False)
     result = np.array(x.data, copy=True)
     result[idx] = updates.data
     flops, traffic = costs.scatter_cost(updates.shape)

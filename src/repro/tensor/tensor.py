@@ -18,8 +18,8 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..hw.device import Device
-from ..hw.machine import current_machine, has_active_machine
-from .costs import nbytes as shape_nbytes
+from ..hw.machine import active_machine_or_none, current_machine, has_active_machine
+from .costs import ITEMSIZE
 
 
 class DeviceMismatchError(RuntimeError):
@@ -27,6 +27,8 @@ class DeviceMismatchError(RuntimeError):
 
 
 ArrayLike = Union[np.ndarray, Sequence, float, int]
+
+_FLOAT32 = np.dtype(np.float32)
 
 
 class Tensor:
@@ -51,18 +53,27 @@ class Tensor:
         name: str = "",
         track_memory: bool = False,
     ) -> None:
-        array = np.asarray(data)
-        if array.dtype.kind == "f" and array.dtype != np.float32:
-            array = array.astype(np.float32)
-        elif array.dtype.kind not in ("f", "i", "u", "b"):
-            raise TypeError(f"unsupported dtype {array.dtype}")
+        # Fast path: operator intermediates arrive as float32 ndarrays and
+        # skip the dtype inspection entirely (this constructor runs once per
+        # simulated kernel).
+        if isinstance(data, np.ndarray) and data.dtype == _FLOAT32:
+            array = data
+        else:
+            array = np.asarray(data)
+            kind = array.dtype.kind
+            if kind == "f":
+                if array.dtype != _FLOAT32:
+                    array = array.astype(np.float32)
+            elif kind not in ("i", "u", "b"):
+                raise TypeError(f"unsupported dtype {array.dtype}")
         self.data = array
         self.device = device
         self.name = name
         self._alloc_id: Optional[int] = None
-        if track_memory and has_active_machine():
-            machine = current_machine()
-            self._alloc_id = machine.alloc(device, self.nbytes, tag=name or "tensor")
+        if track_memory:
+            machine = active_machine_or_none()
+            if machine is not None:
+                self._alloc_id = machine.alloc(device, self.nbytes, tag=name or "tensor")
 
     # -- construction -----------------------------------------------------
 
@@ -118,7 +129,7 @@ class Tensor:
     @property
     def nbytes(self) -> int:
         """Simulated footprint (float32 accounting regardless of stored dtype)."""
-        return shape_nbytes(self.shape)
+        return ITEMSIZE * int(self.data.size)
 
     @property
     def is_tracked(self) -> bool:
@@ -247,7 +258,9 @@ def ensure_same_device(*tensors: Tensor) -> Device:
         raise ValueError("ensure_same_device requires at least one tensor")
     device = tensors[0].device
     for tensor in tensors[1:]:
-        if tensor.device != device:
+        # Identity check first: tensors overwhelmingly share the one Device
+        # object of the active machine, so the __eq__ call is rarely needed.
+        if tensor.device is not device and tensor.device != device:
             raise DeviceMismatchError(
                 f"tensors live on different devices: {device.name!r} vs "
                 f"{tensor.device.name!r}; insert an explicit .to(...) transfer"

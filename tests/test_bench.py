@@ -1,0 +1,199 @@
+"""Tests for the benchmark subsystem: schema, repeatability, CI gate, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    REQUIRED_KEYS,
+    available_scenarios,
+    comparable_scenarios,
+    compare_to_baseline,
+    format_table,
+    load_report,
+    next_bench_path,
+    run_bench,
+    to_payload,
+    validate_payload,
+    write_report,
+)
+from repro.bench.harness import run_scenario
+from repro.bench.scenarios import SCENARIOS
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One quick bench run over two representative scenarios (shared)."""
+    return run_bench(
+        scenarios=["training_iteration", "serving_blocking"],
+        seed=0,
+        reps=2,
+        quick=True,
+    )
+
+
+def test_scenario_registry_covers_required_families():
+    names = available_scenarios()
+    assert "training_iteration" in names
+    assert {"serving_blocking", "serving_overlap"} <= set(names)
+    assert {"scaling_1gpu", "scaling_2gpu", "scaling_4gpu"} <= set(names)
+
+
+def test_payload_is_schema_valid(quick_result):
+    payload = to_payload(quick_result, sha="deadbeef")
+    validate_payload(payload)
+    for entry in payload.values():
+        for key, types in REQUIRED_KEYS.items():
+            assert key in entry
+            assert isinstance(entry[key], types)
+        assert entry["git_sha"] == "deadbeef"
+        assert entry["reps"] == 2
+        assert entry["seed"] == 0
+
+
+def test_written_report_round_trips(quick_result, tmp_path):
+    payload = to_payload(quick_result, sha="deadbeef")
+    path = write_report(payload, str(tmp_path / "BENCH_test.json"))
+    assert load_report(path) == payload
+    with open(path, "r", encoding="utf-8") as handle:
+        assert json.load(handle) == payload
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda p: p.clear(), "non-empty"),
+        (lambda p: p["training_iteration"].pop("wall_ms"), "missing required"),
+        (lambda p: p["training_iteration"].update(git_sha=1), "type"),
+        (lambda p: p["training_iteration"].update(reps=0), "positive"),
+        (lambda p: p["training_iteration"].update(wall_ms=-1.0), "non-negative"),
+    ],
+)
+def test_validation_rejects_malformed_payloads(quick_result, mutate, message):
+    payload = to_payload(quick_result, sha="deadbeef")
+    mutate(payload)
+    with pytest.raises(ValueError, match=message):
+        validate_payload(payload)
+
+
+def test_quick_runs_are_seed_repeatable():
+    """Same seed => identical simulated time and event count (wall may vary)."""
+    first = run_scenario(SCENARIOS["serving_blocking"], seed=3, reps=1, quick=True)
+    second = run_scenario(SCENARIOS["serving_blocking"], seed=3, reps=1, quick=True)
+    assert first.sim_ms == second.sim_ms
+    assert first.events == second.events
+    different = run_scenario(SCENARIOS["serving_blocking"], seed=4, reps=1, quick=True)
+    assert different.sim_ms != first.sim_ms
+
+
+def test_repetitions_reuse_the_same_simulated_workload(quick_result):
+    for scenario in quick_result.scenarios:
+        assert scenario.reps == 2
+        assert scenario.sim_ms > 0
+        assert scenario.events > 0
+        assert scenario.events_per_sec > 0
+
+
+def test_compare_to_baseline_flags_only_real_regressions(quick_result):
+    payload = to_payload(quick_result, sha="deadbeef")
+    # Identical run: no regressions at any threshold.
+    assert compare_to_baseline(payload, payload, max_regression=0.0) == []
+    # Inflate one scenario by 30%: caught at 25%, tolerated at 50%.
+    slower = json.loads(json.dumps(payload))
+    slower["training_iteration"]["wall_ms"] *= 1.3
+    regressions = compare_to_baseline(slower, payload, max_regression=0.25)
+    assert [r.scenario for r in regressions] == ["training_iteration"]
+    assert regressions[0].ratio == pytest.approx(1.3)
+    assert compare_to_baseline(slower, payload, max_regression=0.5) == []
+    # Scenarios unknown to the baseline are not regressions.
+    extra = json.loads(json.dumps(payload))
+    extra["brand_new_scenario"] = dict(payload["training_iteration"])
+    assert compare_to_baseline(extra, payload, max_regression=0.0) == []
+
+
+def test_mode_mismatched_baseline_fails_instead_of_passing_vacuously(
+    quick_result, tmp_path, capsys
+):
+    """A full-mode baseline vs a --quick run must not report a clean gate."""
+    payload = to_payload(quick_result, sha="deadbeef")
+    full_mode = json.loads(json.dumps(payload))
+    for entry in full_mode.values():
+        entry["quick"] = False
+    assert comparable_scenarios(payload, full_mode) == []
+    assert compare_to_baseline(payload, full_mode, max_regression=0.0) == []
+    baseline_path = tmp_path / "BENCH_baseline.json"
+    write_report(full_mode, str(baseline_path))
+    code = main([
+        "bench", "--quick", "--reps", "1",
+        "--scenario", "serving_blocking",
+        "--no-write",
+        "--baseline", str(baseline_path),
+    ])
+    assert code == 1
+    assert "no scenario is comparable" in capsys.readouterr().err
+
+
+def test_format_table_lists_every_scenario(quick_result):
+    payload = to_payload(quick_result, sha="deadbeef")
+    table = format_table(payload, baseline=payload)
+    for name in payload:
+        assert name in table
+    assert "+0.0%" in table
+
+
+def test_next_bench_path_numbers_from_four(tmp_path):
+    assert os.path.basename(next_bench_path(str(tmp_path))) == "BENCH_4.json"
+    (tmp_path / "BENCH_4.json").write_text("{}")
+    (tmp_path / "BENCH_7.json").write_text("{}")
+    (tmp_path / "BENCH_baseline.json").write_text("{}")
+    assert os.path.basename(next_bench_path(str(tmp_path))) == "BENCH_8.json"
+
+
+def test_cli_bench_writes_schema_valid_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_cli.json"
+    code = main([
+        "bench", "--quick", "--reps", "1",
+        "--scenario", "serving_blocking",
+        "--output", str(out),
+    ])
+    assert code == 0
+    payload = load_report(str(out))
+    assert set(payload) == {"serving_blocking"}
+    assert "serving_blocking" in capsys.readouterr().out
+
+
+def test_cli_bench_gates_on_baseline(tmp_path, capsys):
+    baseline_path = tmp_path / "BENCH_baseline.json"
+    out = tmp_path / "BENCH_now.json"
+    code = main([
+        "bench", "--quick", "--reps", "1",
+        "--scenario", "serving_blocking",
+        "--output", str(baseline_path),
+    ])
+    assert code == 0
+    # An absurdly fast fake baseline forces the gate to trip.
+    fast = load_report(str(baseline_path))
+    fast["serving_blocking"]["wall_ms"] = 1e-6
+    write_report(fast, str(baseline_path))
+    code = main([
+        "bench", "--quick", "--reps", "1",
+        "--scenario", "serving_blocking",
+        "--output", str(out),
+        "--baseline", str(baseline_path),
+    ])
+    assert code == 1
+    assert "PERF REGRESSION" in capsys.readouterr().err
+    # A generous baseline passes and reports the gate.
+    slow = load_report(str(out))
+    slow["serving_blocking"]["wall_ms"] = 1e9
+    write_report(slow, str(baseline_path))
+    code = main([
+        "bench", "--quick", "--reps", "1",
+        "--scenario", "serving_blocking",
+        "--output", str(out),
+        "--baseline", str(baseline_path),
+    ])
+    assert code == 0
+    assert "perf gate passed" in capsys.readouterr().out

@@ -1,0 +1,317 @@
+"""Perf-safety regression tests: the optimized hot path must be a pure
+speedup.
+
+The PR that introduced the benchmark subsystem rewrote the scheduler's inner
+loops (incremental busy accounting, cached kernel costs and routes, batched
+kernel charging, vectorized sampler index construction).  These tests pin
+the optimized implementations against reference slow-path implementations --
+verbatim copies of the pre-optimization code -- on randomized programs:
+same intervals, same event logs, same samples, byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.events import EventStream
+from repro.graph.sampling import TemporalNeighborSampler
+from repro.hw.machine import Machine
+from repro.hw.spec import MACHINE_SPECS
+from repro.hw.stream import union_busy_ms
+from repro.hw.timeline import Timeline
+
+
+# -- reference slow paths (pre-optimization implementations) ---------------
+
+
+def reference_busy_ms(intervals, start_ms=None, end_ms=None):
+    """Pre-optimization Timeline.busy_ms: a full scan per query."""
+    if start_ms is None and end_ms is None:
+        return sum(i.duration_ms for i in intervals)
+    lo = start_ms if start_ms is not None else float("-inf")
+    hi = end_ms if end_ms is not None else float("inf")
+    total = 0.0
+    for interval in intervals:
+        overlap = min(interval.end_ms, hi) - max(interval.start_ms, lo)
+        if overlap > 0:
+            total += overlap
+    return total
+
+
+def reference_union_busy_ms(timelines, start_ms=None, end_ms=None):
+    """Pre-optimization union_busy_ms: clip everything, sort, merge."""
+    lo = start_ms if start_ms is not None else float("-inf")
+    hi = end_ms if end_ms is not None else float("inf")
+    spans = []
+    for timeline in timelines:
+        for interval in timeline:
+            clipped_lo = max(interval.start_ms, lo)
+            clipped_hi = min(interval.end_ms, hi)
+            if clipped_hi > clipped_lo:
+                spans.append((clipped_lo, clipped_hi))
+    if not spans:
+        return 0.0
+    spans.sort()
+    total = 0.0
+    current_lo, current_hi = spans[0]
+    for span_lo, span_hi in spans[1:]:
+        if span_lo > current_hi:
+            total += current_hi - current_lo
+            current_lo, current_hi = span_lo, span_hi
+        else:
+            current_hi = max(current_hi, span_hi)
+    total += current_hi - current_lo
+    return total
+
+
+def reference_build_index(stream):
+    """Pre-optimization sampler index: per-event Python loop + stable sort."""
+    adjacency = [[] for _ in range(stream.num_nodes)]
+    for index in range(stream.num_events):
+        s = int(stream.src[index])
+        d = int(stream.dst[index])
+        t = float(stream.timestamps[index])
+        adjacency[s].append((t, d, index))
+        adjacency[d].append((t, s, index))
+    packed = []
+    for entries in adjacency:
+        if entries:
+            entries.sort(key=lambda item: item[0])
+            times = np.array([e[0] for e in entries], dtype=np.float64)
+            neighbors = np.array([e[1] for e in entries], dtype=np.int64)
+            event_ids = np.array([e[2] for e in entries], dtype=np.int64)
+        else:
+            times = np.empty(0, dtype=np.float64)
+            neighbors = np.empty(0, dtype=np.int64)
+            event_ids = np.empty(0, dtype=np.int64)
+        packed.append((times, neighbors, event_ids))
+    return packed
+
+
+def reference_sample(adjacency, rng, uniform, nodes, timestamps, k):
+    """Pre-optimization sample loop (minus the machine charge)."""
+    batch = len(nodes)
+    neighbor_ids = np.zeros((batch, k), dtype=np.int64)
+    neighbor_times = np.zeros((batch, k), dtype=np.float64)
+    event_indices = np.zeros((batch, k), dtype=np.int64)
+    mask = np.zeros((batch, k), dtype=np.float32)
+    degrees = np.zeros(batch, dtype=np.int64)
+    for row, (node, timestamp) in enumerate(zip(nodes, timestamps)):
+        times, neighbors, event_ids = adjacency[int(node)]
+        cutoff = int(np.searchsorted(times, timestamp, side="left"))
+        degrees[row] = cutoff
+        if cutoff == 0:
+            continue
+        if uniform and cutoff > k:
+            chosen = np.sort(rng.choice(cutoff, size=k, replace=False))
+        else:
+            chosen = np.arange(max(0, cutoff - k), cutoff)
+        count = len(chosen)
+        neighbor_ids[row, :count] = neighbors[chosen]
+        neighbor_times[row, :count] = times[chosen]
+        event_indices[row, :count] = event_ids[chosen]
+        mask[row, :count] = 1.0
+    return neighbor_ids, neighbor_times, event_indices, mask, degrees
+
+
+# -- randomized programs ----------------------------------------------------
+
+
+def random_stream(rng, num_events=120, num_nodes=25):
+    timestamps = np.sort(rng.uniform(0.0, 1000.0, size=num_events))
+    return EventStream(
+        src=rng.integers(0, num_nodes, size=num_events),
+        dst=rng.integers(0, num_nodes, size=num_events),
+        timestamps=timestamps,
+        num_nodes=num_nodes,
+    )
+
+
+def drive_random_program(machine, seed, steps=120, batch_api=False):
+    """Issue a random mix of kernels/transfers/syncs/streams to ``machine``.
+
+    With ``batch_api=True``, runs of identical kernels go through the
+    batched ``launch_kernels`` call instead of one ``launch_kernel`` per
+    repetition -- the schedules must match exactly either way.
+    """
+    rng = np.random.default_rng(seed)
+    devices = list(machine.devices)
+    recorded = []
+    with machine.activate():
+        for _ in range(steps):
+            action = rng.integers(0, 10)
+            device = devices[int(rng.integers(0, len(devices)))]
+            if action <= 3:
+                count = int(rng.integers(1, 5))
+                flops = float(rng.integers(1, 50)) * 1e6
+                nbytes = float(rng.integers(1, 100)) * 1e3
+                stream = (
+                    machine.stream(device, "worker")
+                    if rng.integers(0, 3) == 0
+                    else None
+                )
+                if batch_api:
+                    machine.launch_kernels(
+                        device, "k", count, flops, nbytes, stream=stream
+                    )
+                else:
+                    for _ in range(count):
+                        machine.launch_kernel(
+                            device, "k", flops, nbytes, stream=stream
+                        )
+            elif action == 4:
+                machine.host_work("host", float(rng.uniform(0.01, 0.5)))
+            elif action <= 6:
+                src = devices[int(rng.integers(0, len(devices)))]
+                dst = devices[int(rng.integers(0, len(devices)))]
+                if src is not dst:
+                    machine.transfer(
+                        src,
+                        dst,
+                        int(rng.integers(1, 10)) * 4096,
+                        non_blocking=bool(rng.integers(0, 2)),
+                    )
+            elif action == 7:
+                stream = machine.stream(device, "worker")
+                event = machine.record_event(stream, name="mark")
+                machine.wait_event(machine.default_stream(device), event)
+            elif action == 8:
+                machine.synchronize()
+            else:
+                with machine.region("phase"):
+                    machine.host_work("annotated", 0.05)
+        machine.synchronize(name="final")
+    recorded.extend(machine.events.snapshot())
+    return recorded
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_windowed_busy_matches_reference_scan(seed):
+    rng = np.random.default_rng(seed)
+    timeline = Timeline("t")
+    cursor = 0.0
+    for _ in range(300):
+        cursor += float(rng.uniform(0.0, 2.0))
+        timeline.reserve(cursor, float(rng.uniform(0.0, 1.5)), "op")
+    intervals = list(timeline)
+    assert timeline.busy_ms() == reference_busy_ms(intervals)
+    for _ in range(200):
+        lo = float(rng.uniform(-10.0, 600.0))
+        hi = lo + float(rng.uniform(0.0, 200.0))
+        assert timeline.busy_ms(lo, hi) == reference_busy_ms(intervals, lo, hi)
+        assert timeline.busy_ms(lo, None) == reference_busy_ms(intervals, lo, None)
+        assert timeline.busy_ms(None, hi) == reference_busy_ms(intervals, None, hi)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_union_busy_matches_reference_merge(seed):
+    rng = np.random.default_rng(seed)
+    timelines = []
+    for _ in range(3):
+        timeline = Timeline(f"t{len(timelines)}")
+        cursor = 0.0
+        for _ in range(150):
+            cursor += float(rng.uniform(0.0, 1.0))
+            timeline.reserve(cursor, float(rng.uniform(0.0, 2.0)), "op")
+        timelines.append(timeline)
+    assert union_busy_ms(timelines) == reference_union_busy_ms(timelines)
+    # The single-timeline fast path (merged_busy_ms) must agree too.
+    single = timelines[0]
+    assert single.merged_busy_ms() == reference_union_busy_ms([single])
+    for _ in range(100):
+        lo = float(rng.uniform(-5.0, 200.0))
+        hi = lo + float(rng.uniform(0.0, 100.0))
+        assert union_busy_ms(timelines, lo, hi) == reference_union_busy_ms(
+            timelines, lo, hi
+        )
+        assert single.merged_busy_ms(lo, hi) == reference_union_busy_ms(
+            [single], lo, hi
+        )
+
+
+@pytest.mark.parametrize("spec", ["1xA6000", "2xA100-pcie", "2xA100-nvlink"])
+@pytest.mark.parametrize("seed", [11, 12])
+def test_batched_kernel_charging_is_byte_identical(spec, seed):
+    """launch_kernels == a loop of launch_kernel, on every topology."""
+    loop_machine = Machine.from_spec(spec)
+    batch_machine = Machine.from_spec(spec)
+    loop_events = drive_random_program(loop_machine, seed, batch_api=False)
+    batch_events = drive_random_program(batch_machine, seed, batch_api=True)
+    assert loop_machine.host_time_ms == batch_machine.host_time_ms
+    assert loop_machine.event_count == batch_machine.event_count
+    assert loop_events == batch_events
+    for loop_device, batch_device in zip(loop_machine.devices, batch_machine.devices):
+        assert (
+            loop_device.default_stream.timeline.intervals
+            == batch_device.default_stream.timeline.intervals
+        )
+    assert loop_machine.device_flops_totals() == batch_machine.device_flops_totals()
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_disabling_event_recording_changes_nothing_but_the_log(seed):
+    recorded = Machine.from_spec("2xA100-pcie")
+    silent = Machine(
+        cpu_spec=recorded.cpu.spec,
+        gpu_spec=MACHINE_SPECS["2xA100-pcie"].gpu,
+        link_spec=MACHINE_SPECS["2xA100-pcie"].host_link,
+        num_gpus=2,
+        record_events=False,
+    )
+    events = drive_random_program(recorded, seed)
+    silent_events = drive_random_program(silent, seed)
+    assert silent_events == []
+    assert len(silent.events) == 0
+    assert silent.event_count == recorded.event_count == len(events)
+    assert silent.host_time_ms == recorded.host_time_ms
+    for noisy, quiet in zip(recorded.devices, silent.devices):
+        assert noisy.busy_ms() == quiet.busy_ms()
+        assert noisy.default_stream.timeline.intervals == (
+            quiet.default_stream.timeline.intervals
+        )
+
+
+@pytest.mark.parametrize("seed", [31, 32, 33])
+def test_sampler_matches_reference_slow_path(seed):
+    rng = np.random.default_rng(seed)
+    stream = random_stream(rng)
+    fast = TemporalNeighborSampler(stream, uniform=True, seed=seed)
+    reference_adjacency = reference_build_index(stream)
+    # Identical index: per-node arrays byte for byte.
+    assert len(fast._adjacency) == len(reference_adjacency)
+    for fast_entry, ref_entry in zip(fast._adjacency, reference_adjacency):
+        for fast_array, ref_array in zip(fast_entry, ref_entry):
+            assert fast_array.dtype == ref_array.dtype
+            assert np.array_equal(fast_array, ref_array)
+    # Identical samples and RNG stream over a random query workload.
+    reference_rng = np.random.default_rng(seed)
+    for k in (3, 7):
+        nodes = rng.integers(0, stream.num_nodes, size=40)
+        times = rng.uniform(0.0, 1200.0, size=40)
+        sample = fast.sample(nodes, times, k)
+        ids, ntimes, events, mask, _ = reference_sample(
+            reference_adjacency, reference_rng, True, nodes, times, k
+        )
+        assert np.array_equal(sample.neighbor_ids, ids)
+        assert np.array_equal(sample.neighbor_times, ntimes)
+        assert np.array_equal(sample.event_indices, events)
+        assert np.array_equal(sample.mask, mask)
+    # Both generators must have consumed identical draws.
+    assert fast._rng.integers(0, 2**31) == reference_rng.integers(0, 2**31)
+
+
+def test_most_recent_sampling_matches_reference():
+    rng = np.random.default_rng(7)
+    stream = random_stream(rng)
+    fast = TemporalNeighborSampler(stream, uniform=False, seed=7)
+    reference_adjacency = reference_build_index(stream)
+    reference_rng = np.random.default_rng(7)
+    nodes = rng.integers(0, stream.num_nodes, size=60)
+    times = rng.uniform(0.0, 1200.0, size=60)
+    sample = fast.sample(nodes, times, 5)
+    ids, ntimes, events, mask, _ = reference_sample(
+        reference_adjacency, reference_rng, False, nodes, times, 5
+    )
+    assert np.array_equal(sample.neighbor_ids, ids)
+    assert np.array_equal(sample.neighbor_times, ntimes)
+    assert np.array_equal(sample.event_indices, events)
+    assert np.array_equal(sample.mask, mask)

@@ -1,9 +1,8 @@
 """Stream semantics: overlap, events, per-stream sync, seed equivalence."""
 
-import numpy as np
 import pytest
 
-from repro.hw import KERNEL, Machine
+from repro.hw import Machine
 from repro.hw.stream import union_busy_ms
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import Machine, MachineSpec, NVLINK3, PCIE_GEN4, machine_spec
+from repro.hw import Machine, MachineSpec, NVLINK3, machine_spec
 
 
 def exercise(machine):
