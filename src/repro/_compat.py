@@ -13,6 +13,4 @@ from __future__ import annotations
 import sys
 from typing import Any, Dict
 
-DATACLASS_SLOTS: Dict[str, Any] = (
-    {"slots": True} if sys.version_info >= (3, 10) else {}
-)
+DATACLASS_SLOTS: Dict[str, Any] = {"slots": True} if sys.version_info >= (3, 10) else {}

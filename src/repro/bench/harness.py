@@ -11,15 +11,20 @@ from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from .scenarios import SCENARIOS, Scenario
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Measured performance of one scenario over ``reps`` repetitions."""
+    """Measured performance of one scenario over ``reps`` repetitions.
+
+    ``extras`` carries scenario-specific *simulated* metrics (p99 latency,
+    cache hit rate, ...) -- deterministic values the scenario returned next
+    to its machine, not wall-clock measurements.
+    """
 
     name: str
     description: str
@@ -31,6 +36,7 @@ class ScenarioResult:
     reps: int
     seed: int
     quick: bool
+    extras: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -65,21 +71,27 @@ def run_scenario(
     throughputs: List[float] = []
     sim_ms: Optional[float] = None
     events: Optional[int] = None
+    extras: Optional[Dict[str, float]] = None
     for _ in range(reps):
         start = time.perf_counter()
-        machine = scenario.fn(seed, quick)
+        outcome = scenario.fn(seed, quick)
         elapsed_ms = (time.perf_counter() - start) * 1e3
+        if isinstance(outcome, tuple):
+            machine, rep_extras = outcome
+        else:
+            machine, rep_extras = (outcome, {})
         wall_times.append(elapsed_ms)
         rep_sim = machine.host_time_ms
         rep_events = machine.event_count
         if sim_ms is None:
-            sim_ms, events = rep_sim, rep_events
-        elif rep_sim != sim_ms or rep_events != events:
+            sim_ms, events, extras = (rep_sim, rep_events, dict(rep_extras))
+        elif rep_sim != sim_ms or rep_events != events or dict(rep_extras) != extras:
             raise RuntimeError(
                 f"scenario {scenario.name!r} is not deterministic across "
                 f"repetitions: sim {sim_ms} vs {rep_sim} ms, "
-                f"{events} vs {rep_events} events -- a seeded workload must "
-                "reproduce its simulated results exactly"
+                f"{events} vs {rep_events} events, extras {extras} vs "
+                f"{rep_extras} -- a seeded workload must reproduce its "
+                "simulated results exactly"
             )
         throughputs.append(rep_events / (elapsed_ms * 1e-3) if elapsed_ms > 0 else 0.0)
     assert sim_ms is not None and events is not None
@@ -94,6 +106,7 @@ def run_scenario(
         reps=reps,
         seed=seed,
         quick=quick,
+        extras=extras or {},
     )
 
 
@@ -112,11 +125,6 @@ def run_bench(
     names = list(scenarios) if scenarios else list(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
-        raise KeyError(
-            f"unknown scenario(s) {unknown}; available: {', '.join(SCENARIOS)}"
-        )
-    results = [
-        run_scenario(SCENARIOS[name], seed=seed, reps=reps, quick=quick)
-        for name in names
-    ]
+        raise KeyError(f"unknown scenario(s) {unknown}; available: {', '.join(SCENARIOS)}")
+    results = [run_scenario(SCENARIOS[name], seed=seed, reps=reps, quick=quick) for name in names]
     return BenchResult(scenarios=results, quick=quick, seed=seed)

@@ -60,7 +60,7 @@ def to_payload(result: BenchResult, sha: Optional[str] = None) -> Dict[str, dict
     sha = sha if sha is not None else git_sha()
     payload: Dict[str, dict] = {}
     for scenario in result.scenarios:
-        payload[scenario.name] = {
+        entry = {
             "wall_ms": round(scenario.wall_ms, 3),
             "wall_iqr_ms": round(scenario.wall_iqr_ms, 3),
             "sim_ms": round(scenario.sim_ms, 6),
@@ -70,6 +70,9 @@ def to_payload(result: BenchResult, sha: Optional[str] = None) -> Dict[str, dict
             "git_sha": sha,
             "quick": scenario.quick,
         }
+        if scenario.extras:
+            entry["extras"] = dict(scenario.extras)
+        payload[scenario.name] = entry
     return payload
 
 
@@ -130,9 +133,7 @@ def next_bench_path(directory: str = ".") -> str:
     return os.path.join(directory, f"BENCH_{highest + 1}.json")
 
 
-def comparable_scenarios(
-    current: Dict[str, dict], baseline: Dict[str, dict]
-) -> List[str]:
+def comparable_scenarios(current: Dict[str, dict], baseline: Dict[str, dict]) -> List[str]:
     """Scenario names a baseline comparison would actually gate on.
 
     A scenario is comparable when both reports carry it, the baseline's
@@ -198,12 +199,18 @@ def compare_to_baseline(
     return regressions
 
 
-def format_table(
-    payload: Dict[str, dict], baseline: Optional[Dict[str, dict]] = None
-) -> str:
-    """Render a report (optionally vs. a baseline) as a markdown table."""
+def format_table(payload: Dict[str, dict], baseline: Optional[Dict[str, dict]] = None) -> str:
+    """Render a report (optionally vs. a baseline) as a markdown table.
+
+    Scenarios carrying ``extras`` (simulated serving metrics such as p99
+    latency or cache hit rate) get an extra column summarising them.
+    """
+    with_extras = any(entry.get("extras") for entry in payload.values())
     header = "| scenario | wall ms (median) | sim ms | events/s | reps |"
     divider = "|---|---|---|---|---|"
+    if with_extras:
+        header += " extras |"
+        divider += "---|"
     if baseline is not None:
         header += " vs baseline |"
         divider += "---|"
@@ -213,6 +220,10 @@ def format_table(
             f"| {name} | {entry['wall_ms']:.1f} | {entry['sim_ms']:.3f} "
             f"| {entry['events_per_sec']:.0f} | {entry['reps']} |"
         )
+        if with_extras:
+            extras = entry.get("extras") or {}
+            summary = " ".join(f"{key}={value:g}" for key, value in sorted(extras.items()))
+            row += f" {summary or '-'} |"
         if baseline is not None:
             base = baseline.get(name)
             if base is None or base["wall_ms"] <= 0:

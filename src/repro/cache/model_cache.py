@@ -1,0 +1,467 @@
+"""The per-model cache façade the serving request path talks to.
+
+A :class:`ModelCache` bundles one :class:`~repro.cache.store.DeviceResidentCache`
+per entry *kind* a model declares (``cache_kinds``):
+
+* ``"embedding"`` -- final node-embedding rows, resident on the model's
+  compute device.  A hit short-circuits the node's entire recursive
+  sampling + attention subtree.
+* ``"sample"`` -- temporal-neighbourhood sample rows, resident in host
+  memory (they are CPU-side sampling structures).  A hit skips the per-row
+  binary search + draw in :class:`~repro.graph.sampling.TemporalNeighborSampler`
+  -- the paper's dominant inference cost.
+* ``"memory"`` -- device-resident copies of per-node recurrent state (TGN's
+  memory rows).  A hit skips the row's host->device upload; values are exact
+  (memory rows only change when their node is touched, and every write goes
+  through the cache), so only the transfer cost changes.
+
+All stores share one policy name, one staleness bound, and an equal split of
+the byte budget.  Lookups/inserts are charged on whatever stream is current
+when the model calls in -- synchronously on the blocking path, asynchronously
+inside the overlap server's named sampling stream.
+
+Consistency contract (who calls what, in request order):
+
+1. ``lookup_*`` / ``sample`` while building the batch's plan -- hits are
+   admitted against the *pre-batch* cache state;
+2. the model computes the misses;
+3. ``observe_events(batch)`` -- the batch's events are incoming graph
+   mutations, so entries touched by them are invalidated;
+4. ``store_*`` -- freshly computed rows are inserted at their query event
+   times (after invalidation, so they survive their own batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.events import EventStream
+from ..graph.sampling import NeighborhoodSample, TemporalNeighborSampler
+from ..hw.device import Device
+from ..hw.machine import Machine
+from .policy import make_eviction_policy
+from .store import CacheCostModel, CacheStats, DeviceResidentCache
+
+#: Kinds that live on the model's compute device; everything else lives on
+#: the host CPU (sampling structures are CPU-side).
+_DEVICE_KINDS = ("embedding", "memory")
+
+
+@dataclass
+class CachedPlan:
+    """A batch's prepared work after cache admission.
+
+    ``hit_indices``/``hit_rows`` are the query rows served from the
+    embedding cache; ``miss_nodes``/``miss_times`` (at ``miss_indices`` of
+    the original query order) still need the full sampling + compute path,
+    and ``samples`` is their precomputed sampling plan in the model's
+    depth-first query order.
+    """
+
+    hit_indices: np.ndarray
+    hit_rows: Optional[np.ndarray]
+    miss_indices: np.ndarray
+    miss_nodes: np.ndarray
+    miss_times: np.ndarray
+    samples: List[NeighborhoodSample] = field(default_factory=list)
+
+    @property
+    def num_hits(self) -> int:
+        return int(self.hit_indices.size)
+
+
+class ModelCache:
+    """Staleness-bounded embedding/sample/memory cache for one model.
+
+    Args:
+        machine: Machine whose clock and memory pools are charged.
+        compute_device: Device holding embedding/memory rows.
+        kinds: Entry kinds to enable (subset of embedding/sample/memory).
+        policy: Eviction policy name (one fresh instance per store).
+        capacity_mb: Total byte budget, split equally across the stores.
+        staleness_ms: Event-time staleness bound (strict; 0 disables hits).
+        cost_model: Machine-clock cost parameters shared by the stores.
+        degree_of: Optional ``node -> temporal degree`` callable (the
+            degree-weighted policy's insert weight).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        compute_device: Device,
+        kinds: Sequence[str],
+        policy: str = "lru",
+        capacity_mb: float = 64.0,
+        staleness_ms: float = 0.0,
+        cost_model: Optional[CacheCostModel] = None,
+        degree_of: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        kinds = tuple(kinds)
+        if not kinds:
+            raise ValueError("a model cache needs at least one entry kind")
+        unknown = [k for k in kinds if k not in ("embedding", "sample", "memory")]
+        if unknown:
+            raise ValueError(f"unknown cache kind(s) {unknown}")
+        if capacity_mb <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.machine = machine
+        self.compute_device = compute_device
+        self.policy_name = policy
+        self.capacity_mb = float(capacity_mb)
+        self.staleness_ms = float(staleness_ms)
+        self.cost = cost_model if cost_model is not None else CacheCostModel()
+        per_store = int(capacity_mb * 1e6 / len(kinds))
+        self._stores: Dict[str, DeviceResidentCache] = {}
+        for kind in kinds:
+            device = compute_device if kind in _DEVICE_KINDS else machine.cpu
+            self._stores[kind] = DeviceResidentCache(
+                machine,
+                device,
+                kind,
+                make_eviction_policy(policy),
+                per_store,
+                staleness_ms,
+                cost_model=self.cost,
+                weight_of=degree_of,
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(self._stores)
+
+    def store(self, kind: str) -> Optional[DeviceResidentCache]:
+        return self._stores.get(kind)
+
+    @property
+    def embeddings(self) -> Optional[DeviceResidentCache]:
+        return self._stores.get("embedding")
+
+    @property
+    def samples(self) -> Optional[DeviceResidentCache]:
+        return self._stores.get("sample")
+
+    @property
+    def memory(self) -> Optional[DeviceResidentCache]:
+        return self._stores.get("memory")
+
+    def describe(self) -> str:
+        return (
+            f"{self.policy_name}/{self.capacity_mb:g}MB/"
+            f"staleness={self.staleness_ms:g}ms"
+        )
+
+    # -- embeddings --------------------------------------------------------
+
+    def lookup_embeddings(
+        self, nodes: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """Admit a batch of (node, query-time) rows against the embedding store.
+
+        Returns ``(hit_indices, hit_rows, miss_indices)`` over the query
+        order; ``hit_rows`` is ``None`` when nothing hit.
+        """
+        store = self._stores.get("embedding")
+        n = len(nodes)
+        if store is None:
+            return (
+                np.empty(0, dtype=np.int64),
+                None,
+                np.arange(n, dtype=np.int64),
+            )
+        hit_positions: List[int] = []
+        rows: List[np.ndarray] = []
+        miss_positions: List[int] = []
+        node_list = nodes.tolist()
+        time_list = times.tolist()
+        for index in range(n):
+            value = store.probe(node_list[index], time_list[index])
+            if value is None:
+                miss_positions.append(index)
+            else:
+                hit_positions.append(index)
+                rows.append(value)
+        store.flush_charges("lookup")
+        hit_rows = np.stack(rows).astype(np.float32, copy=False) if rows else None
+        return (
+            np.asarray(hit_positions, dtype=np.int64),
+            hit_rows,
+            np.asarray(miss_positions, dtype=np.int64),
+        )
+
+    def store_embeddings(
+        self, nodes: np.ndarray, times: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Insert freshly computed embedding rows at their query event times."""
+        store = self._stores.get("embedding")
+        if store is None or len(nodes) == 0:
+            return
+        row_nbytes = int(rows.shape[1]) * 4
+        node_list = nodes.tolist()
+        time_list = times.tolist()
+        for index in range(len(node_list)):
+            store.put(node_list[index], rows[index].copy(), time_list[index], row_nbytes)
+        store.flush_charges("update")
+
+    # -- temporal-neighbourhood samples ------------------------------------
+
+    def sample(
+        self,
+        sampler: TemporalNeighborSampler,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        k: int,
+    ) -> NeighborhoodSample:
+        """Cache-fronted batched temporal-neighbourhood query.
+
+        Per query row: serve the cached sample row when one is valid under
+        the staleness bound, otherwise fall through to ``sampler`` for the
+        miss rows only (which charges the sampler's CPU cost for exactly
+        those rows).  With zero hits the sampler is invoked on the original
+        arrays, so the draw sequence -- and therefore the RNG stream -- is
+        byte-identical to uncached execution.
+        """
+        store = self._stores.get("sample")
+        if store is None:
+            return sampler.sample(nodes, times, k)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        n = len(nodes)
+        node_list = nodes.tolist()
+        time_list = times.tolist()
+        hits: List[Tuple[int, Tuple[np.ndarray, ...]]] = []
+        miss_positions: List[int] = []
+        for index in range(n):
+            value = store.probe(node_list[index], time_list[index])
+            if value is None or value[0].shape[0] != k:
+                miss_positions.append(index)
+            else:
+                hits.append((index, value))
+        if not hits:
+            sample = sampler.sample(nodes, times, k)
+            self._insert_sample_rows(store, node_list, time_list, range(n), sample, k)
+            store.flush_charges("sample")
+            return sample
+        neighbor_ids = np.zeros((n, k), dtype=np.int64)
+        neighbor_times = np.zeros((n, k), dtype=np.float64)
+        event_indices = np.zeros((n, k), dtype=np.int64)
+        mask = np.zeros((n, k), dtype=np.float32)
+        for index, (ids_row, times_row, events_row, mask_row) in hits:
+            neighbor_ids[index] = ids_row
+            neighbor_times[index] = times_row
+            event_indices[index] = events_row
+            mask[index] = mask_row
+        if miss_positions:
+            miss_idx = np.asarray(miss_positions, dtype=np.int64)
+            sub = sampler.sample(nodes[miss_idx], times[miss_idx], k)
+            neighbor_ids[miss_idx] = sub.neighbor_ids
+            neighbor_times[miss_idx] = sub.neighbor_times
+            event_indices[miss_idx] = sub.event_indices
+            mask[miss_idx] = sub.mask
+            self._insert_sample_rows(
+                store, node_list, time_list, miss_positions, sub, k, remap=True
+            )
+        store.flush_charges("sample")
+        return NeighborhoodSample(neighbor_ids, neighbor_times, event_indices, mask)
+
+    @staticmethod
+    def _insert_sample_rows(
+        store: DeviceResidentCache,
+        node_list: List[int],
+        time_list: List[float],
+        positions: Iterable[int],
+        sample: NeighborhoodSample,
+        k: int,
+        remap: bool = False,
+    ) -> None:
+        """Insert one sample row per (miss) query position.
+
+        ``remap=True`` means row ``j`` of ``sample`` corresponds to the
+        ``j``-th listed position (a miss-subset sample); otherwise positions
+        index ``sample`` directly.
+        """
+        row_nbytes = k * (8 + 8 + 8 + 4)
+        for j, position in enumerate(positions):
+            row = j if remap else position
+            value = (
+                sample.neighbor_ids[row].copy(),
+                sample.neighbor_times[row].copy(),
+                sample.event_indices[row].copy(),
+                sample.mask[row].copy(),
+            )
+            store.put(node_list[position], value, time_list[position], row_nbytes)
+
+    # -- recurrent memory rows ---------------------------------------------
+
+    def lookup_memory(
+        self, nodes: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Admit per-node memory rows; returns ``(hit_indices, miss_indices)``.
+
+        Values are presence-only: the functional row data comes from the
+        model's host mirror (cached rows are exact copies by the
+        write-through contract), so hits change transfer cost, not numerics.
+        """
+        store = self._stores.get("memory")
+        n = len(nodes)
+        if store is None:
+            return (np.empty(0, dtype=np.int64), np.arange(n, dtype=np.int64))
+        hit_positions: List[int] = []
+        miss_positions: List[int] = []
+        node_list = nodes.tolist()
+        time_list = times.tolist()
+        for index in range(n):
+            if store.probe(node_list[index], time_list[index]) is None:
+                miss_positions.append(index)
+            else:
+                hit_positions.append(index)
+        store.flush_charges("lookup")
+        return (
+            np.asarray(hit_positions, dtype=np.int64),
+            np.asarray(miss_positions, dtype=np.int64),
+        )
+
+    def store_memory_rows(
+        self, nodes: np.ndarray, times: np.ndarray, row_nbytes: int
+    ) -> None:
+        """Register device-resident memory rows (write-through on update)."""
+        store = self._stores.get("memory")
+        if store is None or len(nodes) == 0:
+            return
+        node_list = np.asarray(nodes).tolist()
+        time_list = np.asarray(times, dtype=np.float64).tolist()
+        for index in range(len(node_list)):
+            store.put(node_list[index], True, time_list[index], int(row_nbytes))
+        store.flush_charges("update")
+
+    # -- invalidation ------------------------------------------------------
+
+    def observe_events(
+        self, batch: EventStream, kinds: Optional[Sequence[str]] = None
+    ) -> int:
+        """Invalidate entries touched by a batch of incoming graph events.
+
+        Every event ``(u, v, t)`` changes the temporal neighbourhood of both
+        endpoints, so their sample and embedding entries must not be served
+        afterwards.  ``kinds`` restricts the sweep (TGN skips ``"memory"``:
+        its writes overwrite the touched rows in the same iteration).
+        Returns the number of dropped entries.
+        """
+        return self.invalidate_nodes(batch.touched_nodes().tolist(), kinds=kinds)
+
+    def invalidate_nodes(
+        self, nodes: Iterable[int], kinds: Optional[Sequence[str]] = None
+    ) -> int:
+        """Invalidate the given nodes' entries across (selected) stores."""
+        nodes = list(nodes)
+        dropped = 0
+        for kind, store in self._stores.items():
+            if kinds is not None and kind not in kinds:
+                continue
+            dropped += store.invalidate(nodes)
+            store.flush_charges("invalidate")
+        return dropped
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Merged + per-kind counters, ready for :class:`ServingReport`."""
+        merged = CacheStats()
+        by_kind: Dict[str, Dict[str, Any]] = {}
+        for kind, store in self._stores.items():
+            merged.merge(store.stats)
+            by_kind[kind] = store.stats.as_dict()
+        payload: Dict[str, Any] = {
+            "policy": self.policy_name,
+            "capacity_mb": self.capacity_mb,
+            "staleness_ms": self.staleness_ms,
+            "kinds": list(self._stores),
+        }
+        payload.update(merged.as_dict())
+        payload["by_kind"] = by_kind
+        return payload
+
+
+def merge_cache_stats(reports: Sequence[Optional[Dict[str, Any]]]) -> Optional[Dict[str, Any]]:
+    """Merge per-replica/per-shard cache stat dicts into one report view.
+
+    Counter keys are summed, ``hit_rate`` is recomputed from the merged
+    totals, and configuration keys (policy, capacity, staleness) are taken
+    from the first non-empty report.  Returns ``None`` when nothing cached.
+    """
+    live = [report for report in reports if report]
+    if not live:
+        return None
+    merged: Dict[str, Any] = {
+        "policy": live[0].get("policy", ""),
+        "capacity_mb": live[0].get("capacity_mb", 0.0) * len(live),
+        "staleness_ms": live[0].get("staleness_ms", 0.0),
+        "kinds": live[0].get("kinds", []),
+        "caches": len(live),
+    }
+    counters = (
+        "lookups",
+        "hits",
+        "misses",
+        "stale_rejects",
+        "inserts",
+        "evictions",
+        "stale_evictions",
+        "invalidations",
+        "bytes_current",
+        "bytes_peak",
+        "entries",
+    )
+    for key in counters:
+        merged[key] = sum(int(report.get(key, 0)) for report in live)
+    merged["hit_rate"] = (
+        round(merged["hits"] / merged["lookups"], 4) if merged["lookups"] else 0.0
+    )
+    return merged
+
+
+def make_model_cache(
+    model: Any,
+    policy: str = "lru",
+    capacity_mb: float = 64.0,
+    staleness_ms: float = 0.0,
+    cost_model: Optional[CacheCostModel] = None,
+) -> ModelCache:
+    """Build a :class:`ModelCache` for ``model`` and attach it.
+
+    The model must opt in via ``supports_caching`` and declare its entry
+    kinds in ``cache_kinds`` (see :class:`repro.models.base.DGNNModel`).
+    The degree-weighted policy reads node degrees from the model's
+    temporal-neighbour sampler when it has one.
+    """
+    if not getattr(model, "supports_caching", False):
+        raise TypeError(
+            f"{type(model).__name__} does not support request caching; "
+            "only models declaring supports_caching/cache_kinds can serve "
+            "with --cache"
+        )
+    kinds = tuple(getattr(model, "cache_kinds", ()))
+    if not kinds:
+        raise TypeError(
+            f"{type(model).__name__} declares supports_caching but no cache_kinds"
+        )
+    degree_of: Optional[Callable[[int], float]] = None
+    sampler = getattr(model, "sampler", None)
+    if sampler is not None and hasattr(sampler, "total_degree"):
+        degree_of = sampler.total_degree
+    cache = ModelCache(
+        model.machine,
+        model.compute_device,
+        kinds,
+        policy=policy,
+        capacity_mb=capacity_mb,
+        staleness_ms=staleness_ms,
+        cost_model=cost_model,
+        degree_of=degree_of,
+    )
+    model.attach_cache(cache)
+    return cache

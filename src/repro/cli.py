@@ -38,6 +38,7 @@ from .bench import (
     to_payload,
     write_report,
 )
+from .cache import available_eviction_policies, make_model_cache
 from .core import Profiler, analyze_profile, compute_breakdown
 from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
@@ -82,10 +83,8 @@ def _param_override(text: str) -> Tuple[str, Any]:
     """
     key, separator, raw = text.partition("=")
     if not separator or not key:
-        raise argparse.ArgumentTypeError(
-            f"parameter override {text!r} must be key=value"
-        )
-    return key, _coerce_value(raw)
+        raise argparse.ArgumentTypeError(f"parameter override {text!r} must be key=value")
+    return (key, _coerce_value(raw))
 
 
 def _parse_param(values: Sequence[Union[str, Tuple[str, Any]]]) -> Dict[str, Any]:
@@ -196,6 +195,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve with the stream-based sampling/compute overlap scheduler "
              "(requires a model implementing the overlap protocol, e.g. tgat)",
     )
+    srv.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="front the request path with the staleness-aware serving cache "
+             "(embedding/sample/memory stores charged to simulated device "
+             "memory; per replica under --placement replicate, per shard "
+             "under --placement shard)",
+    )
+    srv.add_argument("--cache-policy", default="lru",
+                     choices=available_eviction_policies(),
+                     help="cache eviction policy")
+    srv.add_argument("--cache-mb", type=float, default=64.0,
+                     help="cache byte budget in MB (split across the model's "
+                          "entry-kind stores)")
+    srv.add_argument("--staleness-ms", type=float, default=0.0,
+                     help="event-time staleness bound; 0 admits no hit, so "
+                          "cached execution stays byte-identical to uncached")
     srv.add_argument(
         "--param", action="append", type=_param_override, default=[],
         metavar="KEY=VALUE",
@@ -318,9 +333,7 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
     with profiler.capture(f"{args.model}-overlapped", synchronize=False):
         result = runner.run(batches)
     profile = profiler.last_profile
-    _print_profile_summary(
-        profile, f"{profile.label} ({args.device}, {len(batches)} iterations)"
-    )
+    _print_profile_summary(profile, f"{profile.label} ({args.device}, {len(batches)} iterations)")
     print("per-iteration host time (ms): "
           + "  ".join(f"{t:.3f}" for t in result.iteration_ms))
     print(f"steady-state iteration: {result.steady_state_ms():.3f} ms")
@@ -378,6 +391,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 models = [factory()]
             else:
                 models = build_replicas(machine, factory, gpus)
+            if args.cache:
+                for model in models:
+                    make_model_cache(
+                        model,
+                        policy=args.cache_policy,
+                        capacity_mb=args.cache_mb,
+                        staleness_ms=args.staleness_ms,
+                    )
     except (KeyError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -404,13 +425,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.placement == "replicate":
             router = make_router(args.router, len(models))
             scale_server = ScaleOutServer(models, policy, router)
-            report = scale_server.serve(
-                requests, label=label, arrival_name=args.arrival
-            )
+            report = scale_server.serve(requests, label=label, arrival_name=args.arrival)
         elif args.placement == "shard":
-            partition = make_partition(
-                args.partitioner, stream, len(models), seed=args.seed
-            )
+            partition = make_partition(args.partitioner, stream, len(models), seed=args.seed)
             sharded = ShardedModel(models, partition)
             server = InferenceServer(sharded, policy, overlap=False)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
@@ -464,9 +481,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        regressions = compare_to_baseline(
-            payload, baseline, max_regression=args.max_regression
-        )
+        regressions = compare_to_baseline(payload, baseline, max_regression=args.max_regression)
         if regressions:
             print(
                 f"\nPERF REGRESSION (> {args.max_regression:.0%} over baseline):",

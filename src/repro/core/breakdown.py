@@ -173,7 +173,7 @@ def compute_breakdown(
                 merged_order.append(target)
             merged_times[target] += times[label]
             merged_counts[target] += counts[label]
-        order, times, counts = merged_order, merged_times, merged_counts
+        order, times, counts = (merged_order, merged_times, merged_counts)
 
     entries = tuple(
         BreakdownEntry(

@@ -161,9 +161,7 @@ class Profile:
 
     def events_on_stream(self, resource: str, stream: str) -> Tuple[Event, ...]:
         """Events the window issued onto one stream of one resource."""
-        return tuple(
-            e for e in self.events if e.resource == resource and e.stream == stream
-        )
+        return tuple(e for e in self.events if e.resource == resource and e.stream == stream)
 
     # -- headline statistics ----------------------------------------------------
 
@@ -191,19 +189,13 @@ class Profile:
             return 0.0
         busy = snapshot.busy_ms
         if not include_warmup:
-            busy -= sum(
-                e.duration_ms
-                for e in self.warmup_events
-                if e.resource == snapshot.name
-            )
+            busy -= sum(e.duration_ms for e in self.warmup_events if e.resource == snapshot.name)
         return max(0.0, min(1.0, busy / self.elapsed_ms))
 
     def per_gpu_utilization(self, include_warmup: bool = False) -> Dict[str, float]:
         """Busy fraction of every GPU, keyed by device name."""
         return {
-            snapshot.name: self.device_utilization(
-                snapshot.name, include_warmup=include_warmup
-            )
+            snapshot.name: self.device_utilization(snapshot.name, include_warmup=include_warmup)
             for snapshot in self.devices
             if snapshot.kind == "gpu"
         }
@@ -315,13 +307,9 @@ class Profiler:
         start_ms = machine.host_time_ms
         start_memory = {d.name: d.memory.current_bytes for d in machine.devices}
         start_busy = {d.name: d.busy_ms() for d in machine.devices}
-        start_stream_busy = {
-            d.name: d.per_stream_busy_ms() for d in machine.devices
-        }
+        start_stream_busy = {d.name: d.per_stream_busy_ms() for d in machine.devices}
         links = getattr(machine, "links", (machine.link,))
-        start_link_busy = {
-            link.name: link.per_stream_busy_ms() for link in links
-        }
+        start_link_busy = {link.name: link.per_stream_busy_ms() for link in links}
         # O(1) snapshot of the machine's running per-device FLOP counters
         # (the profiler used to rescan the whole event log here, which made
         # repeated captures O(n^2) across a run).
@@ -347,14 +335,10 @@ class Profiler:
                     transfer_counts[key] = transfer_counts.get(key, 0) + 1
             device_kernel_counts: Dict[str, int] = {}
             for (resource, _), count in kernel_counts.items():
-                device_kernel_counts[resource] = (
-                    device_kernel_counts.get(resource, 0) + count
-                )
+                device_kernel_counts[resource] = device_kernel_counts.get(resource, 0) + count
             devices = []
             for device in machine.devices:
-                flops = machine.device_flops(device.name) - start_flops.get(
-                    device.name, 0.0
-                )
+                flops = machine.device_flops(device.name) - start_flops.get(device.name, 0.0)
                 devices.append(
                     DeviceSnapshot(
                         name=device.name,

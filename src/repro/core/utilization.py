@@ -105,7 +105,9 @@ def utilization_report(
     while t < profile.end_ms:
         hi = min(t + bin_ms, profile.end_ms)
         busy = _clip_overlap(intervals, t, hi)
-        series.append(UtilizationPoint(time_ms=t - profile.start_ms, utilization=busy / max(hi - t, 1e-9)))
+        series.append(
+            UtilizationPoint(time_ms=t - profile.start_ms, utilization=busy / max(hi - t, 1e-9))
+        )
         t += bin_ms
 
     busy_total = _clip_overlap(intervals, profile.start_ms, profile.end_ms)

@@ -70,11 +70,9 @@ def generate_interactions(config: InteractionConfig) -> TemporalInteractionDatas
             dst[collisions] = rng.choice(num_users, size=int(collisions.sum()), p=weights)
             collisions = src == dst
 
-    timestamps = _bursty_timestamps(
-        rng, config.num_events, config.time_span, config.burstiness
-    )
+    timestamps = _bursty_timestamps(rng, config.num_events, config.time_span, config.burstiness)
     order = np.argsort(timestamps, kind="stable")
-    src, dst, timestamps = src[order], dst[order], timestamps[order]
+    src, dst, timestamps = (src[order], dst[order], timestamps[order])
 
     edge_features = rng.standard_normal((config.num_events, config.edge_dim)).astype(np.float32)
     edge_features *= 0.1

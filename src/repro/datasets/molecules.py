@@ -56,9 +56,7 @@ def generate_molecules(config: MolecularConfig) -> MolecularDataset:
             adjacency = _distance_adjacency(positions, config.bond_cutoff)
             features = np.concatenate([atom_types, positions.astype(np.float32)], axis=1)
             frames.append(
-                GraphSnapshot(
-                    timestamp=float(frame), adjacency=adjacency, node_features=features
-                )
+                GraphSnapshot(timestamp=float(frame), adjacency=adjacency, node_features=features)
             )
             # Damped harmonic pull towards equilibrium plus thermal noise.
             force = -0.3 * (positions - equilibrium)
@@ -105,7 +103,5 @@ def iso17(scale: str = "small", seed: int = 41) -> MolecularDataset:
         raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(sizes)}")
     trajectories, frames = sizes[scale]
     return generate_molecules(
-        MolecularConfig(
-            name="iso17", num_trajectories=trajectories, num_frames=frames, seed=seed
-        )
+        MolecularConfig(name="iso17", num_trajectories=trajectories, num_frames=frames, seed=seed)
     )

@@ -21,9 +21,7 @@ from .molecules import iso17
 from .snapshot_data import bitcoin_alpha, reddit_hyperlinks, stochastic_block_model
 from .traffic import pems
 
-Dataset = Union[
-    TemporalInteractionDataset, SnapshotDataset, TrafficDataset, MolecularDataset
-]
+Dataset = Union[TemporalInteractionDataset, SnapshotDataset, TrafficDataset, MolecularDataset]
 
 SCALES = ("tiny", "small", "paper")
 
@@ -56,9 +54,7 @@ def load(name: str, scale: str = "small", seed: int | None = None) -> Dataset:
             generator, keeping everything else identical).
     """
     if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        )
+        raise KeyError(f"unknown dataset {name!r}; available: {', '.join(available_datasets())}")
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
     factory = _REGISTRY[name]

@@ -65,9 +65,7 @@ def generate_snapshot_sequence(config: SnapshotConfig) -> SnapshotDataset:
     )
 
 
-def _random_adjacency(
-    rng: np.random.Generator, n: int, density: float, signed: bool
-) -> np.ndarray:
+def _random_adjacency(rng: np.random.Generator, n: int, density: float, signed: bool) -> np.ndarray:
     mask = rng.random((n, n)) < density
     np.fill_diagonal(mask, False)
     mask = np.triu(mask) | np.triu(mask).T
@@ -166,7 +164,7 @@ def stochastic_block_model(scale: str = "small", seed: int = 31) -> SnapshotData
     rng = np.random.default_rng(seed)
     num_blocks = 4
     assignment = rng.integers(0, num_blocks, size=nodes)
-    p_in, p_out = 0.08, 0.005
+    p_in, p_out = (0.08, 0.005)
     snapshots: List[GraphSnapshot] = []
     features = np.eye(num_blocks, dtype=np.float32)[assignment]
     features = np.concatenate(

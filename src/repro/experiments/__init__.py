@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from . import (
     ablations,
+    cache_ablation,
     fig6,
     fig7,
     fig8,
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig9.run,
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
+    "cache_ablation": cache_ablation.run,
     "overlap_exec": overlap_exec.run,
     "scaling": scaling.run,
     "serving": serving.run,
@@ -66,15 +68,9 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
         )
     runner = EXPERIMENTS[name]
     parameters = inspect.signature(runner).parameters
-    accepts_any = any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-    )
+    accepts_any = any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
     if not accepts_any:
-        kwargs = {
-            k: v
-            for k, v in kwargs.items()
-            if k in parameters or k not in SHARED_KWARGS
-        }
+        kwargs = {k: v for k, v in kwargs.items() if k in parameters or k not in SHARED_KWARGS}
     return runner(**kwargs)
 
 
@@ -82,6 +78,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "available_experiments",
+    "cache_ablation",
     "fig6",
     "fig7",
     "fig8",

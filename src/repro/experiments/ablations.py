@@ -33,7 +33,10 @@ from .runner import ExperimentResult, new_machine, profile_single_iteration
 #: Qualitative expectations for the ablations.
 PAPER_TRENDS: Dict[str, str] = {
     "pipeline": "hoisting the weight RNN reduces per-window latency (Fig. 10)",
-    "overlap": "overlap helps but is bounded by the sampling half (sampling-bound models gain < 2x)",
+    "overlap": (
+        "overlap helps but is bounded by the sampling half "
+        "(sampling-bound models gain < 2x)"
+    ),
     "delta": "delta transfer removes most of the per-snapshot memory-copy time",
 }
 
@@ -81,9 +84,7 @@ def run(
             runner.run_window(snapshots)
     pipelined_profile = profiler.last_profile
 
-    analytic = estimate_pipeline_speedup(
-        compute_breakdown(sequential_profile), "RNN", "GNN"
-    )
+    analytic = estimate_pipeline_speedup(compute_breakdown(sequential_profile), "RNN", "GNN")
     result.add_row(
         ablation="pipeline", configuration="sequential",
         latency_ms=round(sequential_profile.elapsed_ms, 3),

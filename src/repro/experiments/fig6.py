@@ -57,8 +57,12 @@ def run(
     tgat_sweep_batch_size: int = 8,
 ) -> ExperimentResult:
     """Regenerate all four panels of Fig. 6."""
-    tgat_neighbors = tuple(tgat_neighbors or (PAPER_TGAT_NEIGHBORS if paper_scale else DEFAULT_TGAT_NEIGHBORS))
-    tgat_batches = tuple(tgat_batches or (PAPER_TGAT_BATCHES if paper_scale else DEFAULT_TGAT_BATCHES))
+    tgat_neighbors = tuple(
+        tgat_neighbors or (PAPER_TGAT_NEIGHBORS if paper_scale else DEFAULT_TGAT_NEIGHBORS)
+    )
+    tgat_batches = tuple(
+        tgat_batches or (PAPER_TGAT_BATCHES if paper_scale else DEFAULT_TGAT_BATCHES)
+    )
     tgn_batches = tuple(tgn_batches or (PAPER_TGN_BATCHES if paper_scale else DEFAULT_TGN_BATCHES))
     moldgnn_batches = tuple(
         moldgnn_batches or (PAPER_MOLDGNN_BATCHES if paper_scale else DEFAULT_MOLDGNN_BATCHES)
@@ -98,9 +102,7 @@ def run(
     for batch_size in tgat_batches:
         machine = new_machine(use_gpu=True)
         with machine.activate():
-            model = TGAT(
-                machine, wikipedia, TGATConfig(num_neighbors=20, batch_size=batch_size)
-            )
+            model = TGAT(machine, wikipedia, TGATConfig(num_neighbors=20, batch_size=batch_size))
         profile, _ = profile_single_iteration(model, machine, label=f"tgat-b{batch_size}")
         result.add_row(
             panel="b", model="TGAT", parameter="batch_size", value=batch_size,

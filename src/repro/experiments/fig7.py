@@ -50,7 +50,10 @@ PAPER_TRENDS: Dict[str, str] = {
     "astgnn": "temporal attention time is more than 3x the spatial GCN time",
     "jodie": "embedding load/update dominate; GPU adds memory-copy overhead",
     "tgat": "CPU-side sampling dominates and its absolute time grows with the neighbourhood size",
-    "evolvegcn": "GNN dominates; memory-copy share is larger on reddit-hyperlinks than on bitcoin-alpha",
+    "evolvegcn": (
+        "GNN dominates; memory-copy share is larger on reddit-hyperlinks "
+        "than on bitcoin-alpha"
+    ),
 }
 
 DEFAULT_TGN_BATCHES = (4, 16, 128, 1024, 8192)
@@ -220,11 +223,29 @@ def run(
     )
     wanted = set(panels) if panels is not None else set("abcdefghij")
     if "a" in wanted:
-        run_tgn(result, scale, tuple(tgn_batches or (PAPER_TGN_BATCHES if paper_scale else DEFAULT_TGN_BATCHES)))
+        run_tgn(
+            result,
+            scale,
+            tuple(tgn_batches or (PAPER_TGN_BATCHES if paper_scale else DEFAULT_TGN_BATCHES)),
+        )
     if "b" in wanted:
-        run_moldgnn(result, scale, tuple(moldgnn_batches or (PAPER_MOLDGNN_BATCHES if paper_scale else DEFAULT_MOLDGNN_BATCHES)))
+        run_moldgnn(
+            result,
+            scale,
+            tuple(
+                moldgnn_batches
+                or (PAPER_MOLDGNN_BATCHES if paper_scale else DEFAULT_MOLDGNN_BATCHES)
+            ),
+        )
     if "c" in wanted:
-        run_astgnn(result, scale, tuple(astgnn_batches or (PAPER_ASTGNN_BATCHES if paper_scale else DEFAULT_ASTGNN_BATCHES)))
+        run_astgnn(
+            result,
+            scale,
+            tuple(
+                astgnn_batches
+                or (PAPER_ASTGNN_BATCHES if paper_scale else DEFAULT_ASTGNN_BATCHES)
+            ),
+        )
     if "d" in wanted:
         run_jodie(result, scale, DEFAULT_JODIE_DATASETS)
     if wanted & {"e", "f", "g", "h"}:

@@ -95,9 +95,7 @@ def run(
     pems = load_dataset("pems", scale=scale)
     for batch in sweeps["astgnn_batches"]:
         for use_gpu in (False, True):
-            latency = measure_iteration_latency(
-                "astgnn", use_gpu, dataset=pems, batch_size=batch
-            )
+            latency = measure_iteration_latency("astgnn", use_gpu, dataset=pems, batch_size=batch)
             table.add("ASTGNN", "pems", "gpu" if use_gpu else "cpu", latency,
                       parameter="batch_size", value=batch)
 

@@ -56,9 +56,7 @@ def run(
             utilization_report(p, device_kind="gpu", bin_ms=max(p.elapsed_ms / bins, 1e-3))
             for p in profiles
         ]
-        average = (
-            sum(r.busy_ms for r in reports) / total_elapsed if total_elapsed > 0 else 0.0
-        )
+        average = sum(r.busy_ms for r in reports) / total_elapsed if total_elapsed > 0 else 0.0
         longest_idle = max((r.longest_idle_gap_ms for r in reports), default=0.0)
         result.add_row(
             kind="summary", batch_size=batch_size, iterations=len(profiles),

@@ -62,9 +62,7 @@ def run(
 
     # -- TGAT: sampling/compute overlap, executed -------------------------------
     wikipedia = load_dataset("wikipedia", scale=scale)
-    tgat_config = TGATConfig(
-        num_neighbors=tgat_neighbors, batch_size=tgat_batch, seed=seed
-    )
+    tgat_config = TGATConfig(num_neighbors=tgat_neighbors, batch_size=tgat_batch, seed=seed)
 
     machine = new_machine(use_gpu=True)
     with machine.activate():
@@ -135,9 +133,7 @@ def run(
             PipelinedEvolveGCN(pipelined_model).run_window(snapshots)
     pipelined_profile = profiler.last_profile
 
-    pipelined_speedup = sequential_profile.elapsed_ms / max(
-        pipelined_profile.elapsed_ms, 1e-9
-    )
+    pipelined_speedup = sequential_profile.elapsed_ms / max(pipelined_profile.elapsed_ms, 1e-9)
     result.add_row(
         model="evolvegcn", configuration="sequential", mode="executed",
         iteration_ms=round(sequential_profile.elapsed_ms, 3), speedup=1.0,
@@ -147,9 +143,7 @@ def run(
         model="evolvegcn", configuration="pipelined", mode="executed",
         iteration_ms=round(pipelined_profile.elapsed_ms, 3),
         speedup=round(pipelined_speedup, 3),
-        speedup_error=round(
-            _speedup_error(pipelined_speedup, pipeline_analytic.speedup), 3
-        ),
+        speedup_error=round(_speedup_error(pipelined_speedup, pipeline_analytic.speedup), 3),
         window=len(snapshots),
     )
     result.add_row(

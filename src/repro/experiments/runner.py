@@ -100,7 +100,7 @@ def profile_single_iteration(
         profiler = Profiler(machine)
         with profiler.capture(label or model.name):
             model.inference_iteration(batch)
-    return profiler.last_profile, batch
+    return (profiler.last_profile, batch)
 
 
 def profile_iterations(

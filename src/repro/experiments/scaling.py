@@ -77,9 +77,7 @@ def _calibrate_per_request_ms(
     events = max_batch_size * events_per_request
     (model,) = _build_model_set("1xA100", 1, dataset, seed, num_neighbors, events)
     machine = model.machine
-    batches = [
-        dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)
-    ]
+    batches = [dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)]
     with machine.activate():
         model.warm_up(batches[0])
         model.inference_iteration(batches[0])
@@ -133,9 +131,7 @@ def run(
                 arrival,
                 rate_rps,
                 seed=seed,
-                trace_timestamps=(
-                    dataset.stream.timestamps if arrival == "trace" else None
-                ),
+                trace_timestamps=(dataset.stream.timestamps if arrival == "trace" else None),
             )
             requests = generate_requests(
                 dataset.stream,
@@ -160,14 +156,10 @@ def run(
             )
             label = f"tgat-{spec}-{placement}-u{utilization:g}"
             if placement == "replicate":
-                server = ScaleOutServer(
-                    replicas, scheduler, make_router(router, len(replicas))
-                )
+                server = ScaleOutServer(replicas, scheduler, make_router(router, len(replicas)))
                 report = server.serve(requests, label=label, arrival_name=arrival)
             elif placement == "shard":
-                partition = make_partition(
-                    partitioner, dataset.stream, len(replicas), seed=seed
-                )
+                partition = make_partition(partitioner, dataset.stream, len(replicas), seed=seed)
                 sharded = ShardedModel(replicas, partition)
                 server = InferenceServer(sharded, scheduler, overlap=False)
                 report = server.serve(requests, label=label, arrival_name=arrival)

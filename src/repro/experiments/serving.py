@@ -40,9 +40,7 @@ def _build_model(dataset, seed: int, num_neighbors: int, batch_size: int) -> TGA
         return TGAT(
             machine,
             dataset,
-            TGATConfig(
-                num_neighbors=num_neighbors, batch_size=batch_size, seed=seed
-            ),
+            TGATConfig(num_neighbors=num_neighbors, batch_size=batch_size, seed=seed),
         )
 
 
@@ -60,9 +58,7 @@ def _calibrate_per_request_ms(
     model = _build_model(dataset, seed, num_neighbors, max_batch_size)
     machine = model.machine
     events = max_batch_size * events_per_request
-    batches = [
-        dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)
-    ]
+    batches = [dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)]
     with machine.activate():
         model.warm_up(batches[0])
         model.inference_iteration(batches[0])
@@ -113,9 +109,7 @@ def run(
                     arrival,
                     rate_rps,
                     seed=seed,
-                    trace_timestamps=(
-                        dataset.stream.timestamps if arrival == "trace" else None
-                    ),
+                    trace_timestamps=(dataset.stream.timestamps if arrival == "trace" else None),
                 )
                 requests = generate_requests(
                     dataset.stream,
@@ -131,7 +125,7 @@ def run(
                     batch_timeout_ms=batch_timeout_ms,
                     slo_ms=slo_ms,
                 )
-                server = InferenceServer(model, policy, overlap=(mode == "overlap"))
+                server = InferenceServer(model, policy, overlap=mode == "overlap")
                 report = server.serve(
                     requests,
                     label=f"tgat-{policy_name}-{mode}-u{utilization:g}",

@@ -63,7 +63,5 @@ def matches_paper(result: ExperimentResult) -> List[str]:
             continue
         for key, value in expected.items():
             if row.get(key) != value:
-                mismatches.append(
-                    f"{model}: {key} is {row.get(key)!r}, paper says {value!r}"
-                )
+                mismatches.append(f"{model}: {key} is {row.get(key)!r}, paper says {value!r}")
     return mismatches

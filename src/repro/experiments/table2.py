@@ -77,7 +77,7 @@ def _measure(model_class, dataset, config, label: str, batch_size: int, workload
     # (transfers are accounted separately in Fig. 7's Memory Copy rows).
     per_iteration_gpu_ms = iteration_profile.device_busy_ms("gpu")
     iterations_needed = max(1, math.ceil(workload / batch_size))
-    return warmup_ms, per_iteration_gpu_ms, iterations_needed
+    return (warmup_ms, per_iteration_gpu_ms, iterations_needed)
 
 
 def run(
@@ -123,8 +123,4 @@ def run(
 
 def warmup_share_series(result: ExperimentResult, model: str) -> Dict[int, float]:
     """Map of batch size -> warm-up share for one model."""
-    return {
-        row["batch_size"]: row["warmup_share"]
-        for row in result.rows
-        if row["model"] == model
-    }
+    return {row["batch_size"]: row["warmup_share"] for row in result.rows if row["model"] == model}

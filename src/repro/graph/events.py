@@ -203,6 +203,18 @@ class EventStream:
         """Sorted unique node ids that appear in the stream."""
         return np.unique(np.concatenate([self.src, self.dst]))
 
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints of this stream's events.
+
+        The canonical "which nodes do these incoming events mutate" set the
+        serving caches invalidate on: every event changes the temporal
+        neighbourhood of both of its endpoints.  All cache-coherence sites
+        (the model cache itself, cross-replica broadcasts, cross-shard
+        broadcasts) derive the set through this one helper so the rule
+        cannot drift between them.
+        """
+        return self.active_nodes()
+
     # -- conversion --------------------------------------------------------------
 
     def nbytes(self) -> int:

@@ -124,9 +124,7 @@ def hash_partition(num_nodes: int, num_shards: int, seed: int = 0) -> GraphParti
     mixed = (ids + np.uint64(seed & 0xFFFFFFFFFFFFFFFF)) * _HASH_MULTIPLIER
     mixed ^= mixed >> np.uint64(33)
     assignment = (mixed % np.uint64(num_shards)).astype(np.int64)
-    return GraphPartition(
-        num_shards=num_shards, assignment=assignment, method="hash", seed=seed
-    )
+    return GraphPartition(num_shards=num_shards, assignment=assignment, method="hash", seed=seed)
 
 
 def degree_balanced_partition(
@@ -162,9 +160,7 @@ def degree_balanced_partition(
         shard = min(range(num_shards), key=lambda s: (loads[s], s))
         assignment[node] = shard
         loads[shard] += int(degrees[node])
-    return GraphPartition(
-        num_shards=num_shards, assignment=assignment, method="degree", seed=seed
-    )
+    return GraphPartition(num_shards=num_shards, assignment=assignment, method="degree", seed=seed)
 
 
 #: Partitioner registry for the CLI / experiment sweeps.  Each factory takes

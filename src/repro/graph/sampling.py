@@ -160,9 +160,17 @@ class TemporalNeighborSampler:
         times, _, _ = self._adjacency[node]
         return int(np.searchsorted(times, timestamp, side="left"))
 
-    def sample(
-        self, nodes: np.ndarray, timestamps: np.ndarray, k: int
-    ) -> NeighborhoodSample:
+    def total_degree(self, node: int) -> int:
+        """Total interaction count of ``node`` over the whole stream.
+
+        Used by the degree-weighted cache eviction policy as a proxy for how
+        expensive a node's neighbourhood sample is to recompute (the
+        per-query cost grows with the candidate-list length).
+        """
+        times, _, _ = self._adjacency[node]
+        return int(len(times))
+
+    def sample(self, nodes: np.ndarray, timestamps: np.ndarray, k: int) -> NeighborhoodSample:
         """Sample ``k`` temporal neighbours for each (node, time) pair.
 
         The call charges its host-side cost to the active machine under the
@@ -218,7 +226,9 @@ class TemporalNeighborSampler:
         current_machine().host_work("temporal_neighbor_sampling", cost_ms)
 
 
-def recency_decay_weights(neighbor_times: np.ndarray, query_times: np.ndarray, tau: float) -> np.ndarray:
+def recency_decay_weights(
+    neighbor_times: np.ndarray, query_times: np.ndarray, tau: float
+) -> np.ndarray:
     """Exponential recency weights ``exp(-(t_query - t_neighbor) / tau)``.
 
     A small utility shared by models that bias aggregation towards recent

@@ -162,9 +162,7 @@ class SnapshotSequence:
         removed_mask = (current.adjacency != 0) & (nxt.adjacency == 0)
         added_edges = np.argwhere(added_mask)
         removed_edges = np.argwhere(removed_mask)
-        changed_nodes = np.nonzero(
-            np.any(current.node_features != nxt.node_features, axis=1)
-        )[0]
+        changed_nodes = np.nonzero(np.any(current.node_features != nxt.node_features, axis=1))[0]
         feature_dim = nxt.feature_dim
         delta_bytes = int(
             added_edges.size * 8

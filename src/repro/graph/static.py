@@ -73,10 +73,10 @@ class CSRGraph:
             else np.asarray(weights, dtype=np.float32)
         )
         if symmetric:
-            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            src, dst = (np.concatenate([src, dst]), np.concatenate([dst, src]))
             w = np.concatenate([w, w])
         order = np.argsort(src, kind="stable")
-        src, dst, w = src[order], dst[order], w[order]
+        src, dst, w = (src[order], dst[order], w[order])
         counts = np.bincount(src, minlength=num_nodes)
         indptr = np.concatenate([[0], np.cumsum(counts)])
         return cls(indptr, dst, w, num_nodes=num_nodes)
@@ -89,9 +89,7 @@ class CSRGraph:
             raise ValueError("adjacency must be square")
         src, dst = np.nonzero(adjacency)
         weights = adjacency[src, dst].astype(np.float32)
-        return cls.from_edges(
-            adjacency.shape[0], src, dst, weights=weights, symmetric=False
-        )
+        return cls.from_edges(adjacency.shape[0], src, dst, weights=weights, symmetric=False)
 
     # -- queries -----------------------------------------------------------
 
@@ -130,17 +128,15 @@ class CSRGraph:
         """
         nodes = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
         remap = {int(orig): new for new, orig in enumerate(nodes)}
-        src_list, dst_list, w_list = [], [], []
+        src_list, dst_list, w_list = ([], [], [])
         for new_src, orig in enumerate(nodes):
             for col, weight in zip(self.neighbors(int(orig)), self.neighbor_weights(int(orig))):
                 if int(col) in remap:
                     src_list.append(new_src)
                     dst_list.append(remap[int(col)])
                     w_list.append(weight)
-        sub = CSRGraph.from_edges(
-            len(nodes), src_list, dst_list, weights=w_list, symmetric=False
-        )
-        return sub, nodes
+        sub = CSRGraph.from_edges(len(nodes), src_list, dst_list, weights=w_list, symmetric=False)
+        return (sub, nodes)
 
     def nbytes(self) -> int:
         """Host memory footprint of the CSR arrays."""

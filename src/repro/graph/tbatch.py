@@ -56,9 +56,7 @@ def build_tbatches(stream: EventStream, charge_host: bool = True) -> List[TBatch
     for index in range(stream.num_events):
         user = int(stream.src[index])
         item = int(stream.dst[index])
-        batch_index = max(
-            last_batch_of_node.get(user, -1), last_batch_of_node.get(item, -1)
-        ) + 1
+        batch_index = max(last_batch_of_node.get(user, -1), last_batch_of_node.get(item, -1)) + 1
         assignments[index] = batch_index
         last_batch_of_node[user] = batch_index
         last_batch_of_node[item] = batch_index

@@ -13,14 +13,6 @@ from .events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP, Event, 
 from .link import Link
 from .machine import Machine, NoActiveMachineError, current_machine, has_active_machine
 from .memory import Allocation, MemoryPool, OutOfMemoryError
-from .stream import (
-    COPY_STREAM,
-    DEFAULT_STREAM,
-    Stream,
-    StreamEvent,
-    StreamSet,
-    union_busy_ms,
-)
 from .spec import (
     A100_SXM,
     DEFAULT_WARMUP,
@@ -35,6 +27,14 @@ from .spec import (
     WarmupSpec,
     available_machine_specs,
     machine_spec,
+)
+from .stream import (
+    COPY_STREAM,
+    DEFAULT_STREAM,
+    Stream,
+    StreamEvent,
+    StreamSet,
+    union_busy_ms,
 )
 from .timeline import Interval, Timeline
 from .topology import Hop, Topology

@@ -143,12 +143,8 @@ class EventLog:
 
     def on_stream(self, resource: str, stream: str) -> Sequence[Event]:
         """Events issued on one stream of one resource."""
-        return tuple(
-            e for e in self._events if e.resource == resource and e.stream == stream
-        )
+        return tuple(e for e in self._events if e.resource == resource and e.stream == stream)
 
     def total_time_ms(self, kind: str | None = None) -> float:
         """Sum of event durations, optionally restricted to one kind."""
-        return sum(
-            e.duration_ms for e in self._events if kind is None or e.kind == kind
-        )
+        return sum(e.duration_ms for e in self._events if kind is None or e.kind == kind)

@@ -88,6 +88,26 @@ must admit arrivals in timestamp order and may never schedule "into the
 past"; idle fast-forwards interleave safely with in-flight asynchronous
 stream work, which keeps draining behind the cursor exactly as during
 blocking execution.
+
+The serving caches (:mod:`repro.cache`) are charged through the same
+machinery rather than modelled as free lookups:
+
+* **Residency** -- every admitted cache entry is an :meth:`alloc` on its
+  store's device pool (GPUs for embedding/memory rows, the host CPU for
+  sampling structures) tagged ``cache:<kind>``, and every eviction,
+  staleness expiry or invalidation is the matching :meth:`free`; cache
+  occupancy therefore shows up in the same memory reports as model
+  tensors, and a tight budget produces real eviction traffic.
+* **Lookups and updates** -- per-batch host-side table work (probes,
+  insert bookkeeping, invalidation sweeps) is charged as
+  :meth:`host_work` items named ``cache_<kind>_admin*``, and the hit-row
+  gathers / inserted-row copies as bandwidth-bound kernels
+  (``cache_<kind>_gather*`` / ``cache_<kind>_insert*``) on the store's
+  device.  All charges land on whatever stream is *current* when the
+  request path consults the cache: synchronously on the blocking path,
+  asynchronously inside the overlap server's named CPU sampling stream --
+  so cache overhead overlaps (or fails to overlap) with compute under
+  exactly the same rules as sampling itself.
 """
 
 from __future__ import annotations
@@ -170,9 +190,7 @@ class Machine:
             )
             gpus.append(Device(spec, strict_memory=strict_memory))
         self.gpus: Tuple[Device, ...] = tuple(gpus)
-        self.topology = Topology(
-            self.cpu, self.gpus, link_spec, peer_link_spec=peer_link_spec
-        )
+        self.topology = Topology(self.cpu, self.gpus, link_spec, peer_link_spec=peer_link_spec)
         self.warmup_spec = warmup_spec
         self.events = EventLog()
         #: Whether simulated actions are materialized as :class:`Event`
@@ -473,9 +491,7 @@ class Machine:
 
     # -- kernels -----------------------------------------------------------
 
-    def _resolve_kernel_stream(
-        self, device: Device, stream: Optional[Stream]
-    ) -> Stream:
+    def _resolve_kernel_stream(self, device: Device, stream: Optional[Stream]) -> Stream:
         """The stream a kernel launch targets (shared by both launch paths).
 
         An explicit ``stream`` is validated against the device; otherwise the
@@ -719,9 +735,7 @@ class Machine:
                         if non_blocking
                         else hop.link.default_stream
                     )
-            interval = hop.link.schedule(
-                ready, nbytes, hop.direction, name, stream=target
-            )
+            interval = hop.link.schedule(ready, nbytes, hop.direction, name, stream=target)
             if non_blocking:
                 self._host_time += hop.link.spec.host_overhead_us * 1e-3
             else:
@@ -826,9 +840,7 @@ class Machine:
         """Whether one GPU's context has been created."""
         return device.name in self._ready_gpus
 
-    def initialize_gpu(
-        self, model_bytes: int = 0, device: Optional[Device] = None
-    ) -> List[Event]:
+    def initialize_gpu(self, model_bytes: int = 0, device: Optional[Device] = None) -> List[Event]:
         """Perform one-time warm-up of one GPU: context creation, weight upload.
 
         ``device`` selects the GPU (the first one when omitted).  Returns the

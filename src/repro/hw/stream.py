@@ -157,9 +157,7 @@ class StreamSet:
         """Time at which *all* streams of the resource have drained."""
         return max(stream.timeline.free_at for stream in self._streams.values())
 
-    def busy_ms(
-        self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
-    ) -> float:
+    def busy_ms(self, start_ms: Optional[float] = None, end_ms: Optional[float] = None) -> float:
         """Union busy time across all streams, optionally clipped to a window.
 
         Resources whose work all landed on a single stream (the seed's
@@ -168,11 +166,7 @@ class StreamSet:
         unclipped multi-stream unions are memoized per interval count so
         repeated profiler snapshots stay O(1) between new work.
         """
-        active = [
-            stream.timeline
-            for stream in self._streams.values()
-            if len(stream.timeline)
-        ]
+        active = [stream.timeline for stream in self._streams.values() if len(stream.timeline)]
         if not active:
             return 0.0
         if len(active) == 1:
@@ -190,10 +184,7 @@ class StreamSet:
     def per_stream_busy_ms(
         self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
     ) -> Dict[str, float]:
-        return {
-            name: stream.busy_ms(start_ms, end_ms)
-            for name, stream in self._streams.items()
-        }
+        return {name: stream.busy_ms(start_ms, end_ms) for name, stream in self._streams.items()}
 
 
 def union_busy_ms(
@@ -228,7 +219,7 @@ def union_busy_ms(
     for span_lo, span_hi in spans[1:]:
         if span_lo > current_hi:
             total += current_hi - current_lo
-            current_lo, current_hi = span_lo, span_hi
+            current_lo, current_hi = (span_lo, span_hi)
         else:
             current_hi = max(current_hi, span_hi)
     total += current_hi - current_lo

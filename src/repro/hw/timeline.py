@@ -154,12 +154,12 @@ class Timeline:
     def _overlap_range(self, lo: float, hi: float) -> Tuple[int, int]:
         """Index range [first, last) of intervals that may overlap [lo, hi)."""
         if not self._disjoint:
-            return 0, len(self._intervals)
+            return (0, len(self._intervals))
         # Intervals are sorted and disjoint: everything ending at or before
         # ``lo`` and everything starting at or after ``hi`` is irrelevant.
         first = bisect_right(self._ends, lo)
         last = bisect_left(self._starts, hi)
-        return first, last
+        return (first, last)
 
     def merged_busy_ms(self, start_ms: float | None = None, end_ms: float | None = None) -> float:
         """Busy time with touching intervals merged into contiguous runs.
@@ -187,10 +187,10 @@ class Timeline:
             if span_hi <= span_lo:
                 continue
             if run_lo is None:
-                run_lo, run_hi = span_lo, span_hi
+                run_lo, run_hi = (span_lo, span_hi)
             elif span_lo > run_hi:
                 total += run_hi - run_lo
-                run_lo, run_hi = span_lo, span_hi
+                run_lo, run_hi = (span_lo, span_hi)
             else:
                 run_hi = max(run_hi, span_hi)
         if run_lo is not None:
@@ -261,10 +261,10 @@ class Timeline:
             merged._ends.append(interval.end_ms)
             merged._busy_total += interval.duration_ms
             if run_lo is None:
-                run_lo, run_hi = interval.start_ms, interval.end_ms
+                run_lo, run_hi = (interval.start_ms, interval.end_ms)
             elif interval.start_ms > run_hi:
                 merged._merged_total += run_hi - run_lo
-                run_lo, run_hi = interval.start_ms, interval.end_ms
+                run_lo, run_hi = (interval.start_ms, interval.end_ms)
             else:
                 run_hi = max(run_hi, interval.end_ms)
         if run_lo is not None:

@@ -90,9 +90,7 @@ class Topology:
         #: every transfer used to recompute its hop list from scratch.
         self._route_cache: Dict[Tuple[str, str], List[Hop]] = {}
         #: Memo for :meth:`link_named` (linear scan otherwise).
-        self._links_by_name: Dict[str, Link] = {
-            link.name: link for link in self.links
-        }
+        self._links_by_name: Dict[str, Link] = {link.name: link for link in self.links}
 
     # -- access ---------------------------------------------------------
 
@@ -117,9 +115,7 @@ class Topology:
 
     def peer_link(self, a: Device, b: Device) -> Optional[Link]:
         """The direct peer link between two GPUs, or ``None`` when absent."""
-        return self._peer_links.get((a.name, b.name)) or self._peer_links.get(
-            (b.name, a.name)
-        )
+        return self._peer_links.get((a.name, b.name)) or self._peer_links.get((b.name, a.name))
 
     def link_named(self, name: str) -> Optional[Link]:
         """Look a link up by its (instance) name."""
@@ -158,9 +154,7 @@ class Topology:
             return [Hop(self.host_link(dst), "h2d")]
         if src.is_gpu:
             return [Hop(self.host_link(src), "d2h")]
-        raise ValueError(
-            f"no route between host devices {src.name!r} and {dst.name!r}"
-        )
+        raise ValueError(f"no route between host devices {src.name!r} and {dst.name!r}")
 
     # -- aggregate views ------------------------------------------------
 
@@ -169,9 +163,7 @@ class Topology:
         """Time at which every link stream has drained."""
         return max((link.free_at for link in self.links), default=0.0)
 
-    def busy_ms(
-        self, start_ms: Optional[float] = None, end_ms: Optional[float] = None
-    ) -> float:
+    def busy_ms(self, start_ms: Optional[float] = None, end_ms: Optional[float] = None) -> float:
         """Summed busy time across all links (links are independent channels)."""
         return sum(link.busy_ms(start_ms, end_ms) for link in self.links)
 

@@ -112,15 +112,23 @@ class ASTGNN(DGNNModel):
         device = self.compute_device
         dim = config.model_dim
         self.input_proj = Linear(dataset.num_channels, dim, device, rng)
-        self.positional = PositionalEncoding(dim, max_len=config.input_window + config.predict_window, device=device)
+        self.positional = PositionalEncoding(
+            dim, max_len=config.input_window + config.predict_window, device=device
+        )
         self.encoder_temporal = ModuleList(
-            [MultiHeadAttention(dim, config.num_heads, device, rng) for _ in range(config.encoder_layers)]
+            [
+                MultiHeadAttention(dim, config.num_heads, device, rng)
+                for _ in range(config.encoder_layers)
+            ]
         )
         self.encoder_spatial = ModuleList(
             [Linear(dim, dim, device, rng) for _ in range(config.encoder_layers)]
         )
         self.decoder_temporal = ModuleList(
-            [MultiHeadAttention(dim, config.num_heads, device, rng) for _ in range(2 * config.decoder_layers)]
+            [
+                MultiHeadAttention(dim, config.num_heads, device, rng)
+                for _ in range(2 * config.decoder_layers)
+            ]
         )
         self.decoder_spatial = ModuleList(
             [Linear(dim, dim, device, rng) for _ in range(config.decoder_layers)]
@@ -165,9 +173,7 @@ class ASTGNN(DGNNModel):
                 start = (step + offset * window) % max_start
                 windows.append(dataset.window(start, window))
             step += batch_size * window
-            yield ASTGNNBatch(
-                inputs=np.stack(windows).astype(np.float32), target_window=horizon
-            )
+            yield ASTGNNBatch(inputs=np.stack(windows).astype(np.float32), target_window=horizon)
             produced += 1
             if max_batches is not None and produced >= max_batches:
                 return
@@ -246,9 +252,7 @@ class ASTGNN(DGNNModel):
             per_step = ops.reshape(hidden, (b, n, t, dim))
             per_step = ops.transpose(per_step, (0, 2, 1, 3))          # (B, T, N, D)
             flat = ops.reshape(per_step, (b * t, n, dim))
-            aggregated = ops.matmul(
-                ops.reshape(adjacency, (1, n, n)), flat, name="spatial_gcn"
-            )
+            aggregated = ops.matmul(ops.reshape(adjacency, (1, n, n)), flat, name="spatial_gcn")
             transformed = ops.relu(transform(aggregated))
             back = ops.reshape(transformed, (b, t, n, dim))
             back = ops.transpose(back, (0, 2, 1, 3))

@@ -84,6 +84,15 @@ class DGNNModel(Module):
     #: override :meth:`make_request_batch` instead to be servable.
     serves_event_streams: bool = False
 
+    #: Whether the model's request path can consult a staleness-aware
+    #: serving cache (see :mod:`repro.cache`); caching models also declare
+    #: the entry kinds they populate in :attr:`cache_kinds`.
+    supports_caching: bool = False
+
+    #: Entry kinds a caching model populates -- a subset of
+    #: ``("embedding", "sample", "memory")``.
+    cache_kinds: Tuple[str, ...] = ()
+
     def __init__(self, machine: Machine, device: Optional[Device] = None) -> None:
         super().__init__()
         self.machine = machine
@@ -92,9 +101,9 @@ class DGNNModel(Module):
         # explicit ``device``) stays pinned to that GPU, which is what makes
         # per-replica placement on multi-GPU machines explicit instead of
         # implicitly "the GPU".
-        self._compute_device: Device = (
-            device if device is not None else machine.compute_device
-        )
+        self._compute_device: Device = device if device is not None else machine.compute_device
+        #: The attached serving cache (``None`` = uncached request path).
+        self.cache: Optional[Any] = None
 
     # -- devices -------------------------------------------------------------
 
@@ -124,9 +133,7 @@ class DGNNModel(Module):
         """
         if not self._compute_device.is_gpu:
             return
-        self.machine.initialize_gpu(
-            model_bytes=self.param_bytes(), device=self._compute_device
-        )
+        self.machine.initialize_gpu(model_bytes=self.param_bytes(), device=self._compute_device)
         footprint = self.batch_footprint_bytes(batch) if batch is not None else self.param_bytes()
         self.machine.allocation_warmup(footprint, device=self._compute_device)
 
@@ -171,6 +178,23 @@ class DGNNModel(Module):
         """
         return callable(getattr(self, "dispatch_iteration", None))
 
+    def attach_cache(self, cache: Any) -> None:
+        """Attach a staleness-aware serving cache to the request path.
+
+        Once attached, ``inference_iteration`` (and the overlap protocol's
+        ``prepare_iteration``/``compute_iteration``) consult the cache before
+        sampling/compute and feed it back afterwards: entries touched by the
+        batch's incoming events are invalidated, freshly computed rows are
+        inserted.  Detach by attaching ``None``.
+        """
+        if cache is not None and not self.supports_caching:
+            raise TypeError(f"{type(self).__name__} does not support request caching")
+        self.cache = cache
+
+    def cache_stats(self) -> Optional[Any]:
+        """The attached cache's telemetry dict (``None`` when uncached)."""
+        return self.cache.stats() if self.cache is not None else None
+
     def make_request_batch(self, payloads: Sequence[Any]) -> Any:
         """Merge per-request payloads into one iteration batch.
 
@@ -199,9 +223,7 @@ class DGNNModel(Module):
 
     # -- convenience ---------------------------------------------------------------
 
-    def run_inference(
-        self, dataset: Any, max_iterations: Optional[int] = None, **kwargs
-    ) -> int:
+    def run_inference(self, dataset: Any, max_iterations: Optional[int] = None, **kwargs) -> int:
         """Run inference over a dataset without profiling; returns iteration count.
 
         Useful for functional tests and examples that only care about the

@@ -111,7 +111,9 @@ class DyRep(DGNNModel):
     def reset_state(self) -> None:
         rng = np.random.default_rng(self.config.seed)
         self._embeddings = (
-            rng.standard_normal((self.dataset.num_nodes, self.config.embedding_dim)).astype(np.float32)
+            rng.standard_normal(
+                (self.dataset.num_nodes, self.config.embedding_dim)
+            ).astype(np.float32)
             * 0.1
         )
         self._last_update[:] = 0.0
@@ -144,7 +146,7 @@ class DyRep(DGNNModel):
             np.zeros((0, 1), dtype=np.float32), device
         )
 
-    # -- per-event update ----------------------------------------------------------------------------
+    # -- per-event update -------------------------------------------------------------
 
     def _process_event(self, table: Tensor, src: int, dst: int, timestamp: float):
         """One DyRep event update; returns the new table and the intensity."""
@@ -169,7 +171,7 @@ class DyRep(DGNNModel):
         with self.machine.region("Conditional Intensity"):
             pair = ops.concat([new_rows[src], new_rows[dst]], axis=-1)
             intensity = ops.softplus(self.intensity_decoder(pair))
-        return updated, intensity
+        return (updated, intensity)
 
     def _localized_embedding(self, table: Tensor, node: int, timestamp: float) -> Tensor:
         """Temporal-attention aggregation of ``node``'s neighbourhood (1, dim)."""

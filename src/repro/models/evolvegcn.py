@@ -82,12 +82,8 @@ class EvolveGCN(DGNNModel):
             (config.hidden_dim, config.output_dim),
         ]
         # Evolving GCN weights: one matrix per layer, updated every snapshot.
-        self.weight_0 = nn_init.xavier_uniform(
-            self._layer_dims[0], device, rng, name="gcn.weight0"
-        )
-        self.weight_1 = nn_init.xavier_uniform(
-            self._layer_dims[1], device, rng, name="gcn.weight1"
-        )
+        self.weight_0 = nn_init.xavier_uniform(self._layer_dims[0], device, rng, name="gcn.weight0")
+        self.weight_1 = nn_init.xavier_uniform(self._layer_dims[1], device, rng, name="gcn.weight1")
         # The weight-evolution RNNs treat each row of W as a batch element.
         self.weight_rnn_0 = GRUCell(config.hidden_dim, config.hidden_dim, device, rng)
         self.weight_rnn_1 = GRUCell(config.output_dim, config.output_dim, device, rng)
@@ -203,7 +199,7 @@ class EvolveGCN(DGNNModel):
                 batch.node_features, device, name="snapshot_features", track_memory=True
             )
         self._previous_snapshot = batch
-        return adjacency, features
+        return (adjacency, features)
 
     # -- weight evolution -------------------------------------------------------------------
 
@@ -229,9 +225,7 @@ class EvolveGCN(DGNNModel):
         with self.machine.region("RNN"):
             return rnn(rnn_input, weight_t)
 
-    def _topk_summary(
-        self, node_embeddings: Tensor, score_vector: Parameter, k: int
-    ) -> Tensor:
+    def _topk_summary(self, node_embeddings: Tensor, score_vector: Parameter, k: int) -> Tensor:
         """Select the k highest-scoring node embeddings (EvolveGCN-H summariser).
 
         The scores come from a learned projection; the selected rows are
@@ -258,7 +252,5 @@ class EvolveGCN(DGNNModel):
         # the weight matrix.
         if summary.shape[1] < k:
             padding = np.zeros((summary.shape[0], k - summary.shape[1]), dtype=np.float32)
-            summary = Tensor(
-                np.concatenate([summary.data, padding], axis=1), summary.device
-            )
+            summary = Tensor(np.concatenate([summary.data, padding], axis=1), summary.device)
         return summary

@@ -182,9 +182,7 @@ class JODIE(DGNNModel):
 
         # (3) Predict the embedding of the item the user will interact with.
         with self.machine.region("Predict Item Embedding"):
-            predicted_item = self.prediction(
-                ops.concat([projected_user, item_emb], axis=-1)
-            )
+            predicted_item = self.prediction(ops.concat([projected_user, item_emb], axis=-1))
 
         # (4) Update both embeddings with the mutually-recursive RNNs and
         #     write the refreshed state back to the host for the next t-batch.

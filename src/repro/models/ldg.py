@@ -71,7 +71,9 @@ class LDG(DGNNModel):
         self.edge_to_node = MLP((edge_dim, dim), device, rng)
         self.update_cell = GRUCell(dim + dim + 1, dim, device, rng)
         if config.bilinear:
-            self.bilinear_weight = nn_init.xavier_uniform((dim, dim), device, rng, name="bilinear.weight")
+            self.bilinear_weight = nn_init.xavier_uniform(
+                (dim, dim), device, rng, name="bilinear.weight"
+            )
             self.decoder_mlp = None
         else:
             self.bilinear_weight = None
@@ -111,7 +113,9 @@ class LDG(DGNNModel):
     def reset_state(self) -> None:
         rng = np.random.default_rng(self.config.seed)
         self._embeddings = (
-            rng.standard_normal((self.dataset.num_nodes, self.config.embedding_dim)).astype(np.float32)
+            rng.standard_normal(
+                (self.dataset.num_nodes, self.config.embedding_dim)
+            ).astype(np.float32)
             * 0.1
         )
         self._last_update[:] = 0.0
@@ -120,7 +124,7 @@ class LDG(DGNNModel):
     def node_embeddings(self) -> np.ndarray:
         return self._embeddings.copy()
 
-    # -- inference ----------------------------------------------------------------------------------
+    # -- inference --------------------------------------------------------------------
 
     def inference_iteration(self, batch: EventStream) -> Tensor:
         """Process the batch's events one by one; returns the pair scores."""
@@ -142,7 +146,7 @@ class LDG(DGNNModel):
             np.zeros((0, 1), dtype=np.float32), device
         )
 
-    # -- per-event update ------------------------------------------------------------------------------
+    # -- per-event update -------------------------------------------------------------
 
     def _process_event(self, table: Tensor, src: int, dst: int, timestamp: float):
         device = self.compute_device
@@ -178,4 +182,4 @@ class LDG(DGNNModel):
             else:
                 pair = ops.concat([new_rows[src], new_rows[dst]], axis=-1)
                 score = ops.sigmoid(self.decoder_mlp(pair))
-        return updated, score
+        return (updated, score)

@@ -140,14 +140,12 @@ class MolDGNN(DGNNModel):
         produced = 0
         cursor = 0
         while True:
-            adjacencies, features = [], []
+            adjacencies, features = ([], [])
             for offset in range(batch_size):
                 trajectory = trajectories[(cursor + offset) % len(trajectories)]
                 start = (cursor + offset) % max(1, len(trajectory) - window)
                 frames = [trajectory[start + i] for i in range(min(window, len(trajectory)))]
-                adjacencies.append(
-                    np.stack([normalized_adjacency(f.adjacency) for f in frames])
-                )
+                adjacencies.append(np.stack([normalized_adjacency(f.adjacency) for f in frames]))
                 features.append(np.stack([f.node_features for f in frames]))
             cursor += batch_size
             yield MolDGNNBatch(
@@ -169,7 +167,7 @@ class MolDGNN(DGNNModel):
         """Predict the next adjacency matrix for every molecule in the batch."""
         device = self.compute_device
         host = self.host_device
-        molecules, window, atoms = batch.num_molecules, batch.window, batch.num_atoms
+        molecules, window, atoms = (batch.num_molecules, batch.window, batch.num_atoms)
 
         # Ship each molecule's window to the device.  The reference pipeline
         # converts every snapshot's adjacency from its host graph format into
@@ -181,9 +179,7 @@ class MolDGNN(DGNNModel):
         feature_parts: List[Tensor] = []
         with self.machine.region("Memory Copy"):
             for index in range(molecules):
-                self.machine.host_work(
-                    "adjacency_marshalling", MARSHALLING_MS_PER_FRAME * window
-                )
+                self.machine.host_work("adjacency_marshalling", MARSHALLING_MS_PER_FRAME * window)
                 adjacency_parts.append(
                     Tensor(batch.adjacencies[index], host).to(device, name="molecule_adjacency")
                 )

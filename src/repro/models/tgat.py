@@ -68,6 +68,8 @@ class TGAT(DGNNModel):
 
     name = "tgat"
     serves_event_streams = True
+    supports_caching = True
+    cache_kinds = ("embedding", "sample")
 
     def __init__(
         self,
@@ -100,9 +102,7 @@ class TGAT(DGNNModel):
                 for _ in range(config.num_layers)
             ]
         )
-        self.link_predictor = MLP(
-            (2 * config.node_dim, config.node_dim, 1), device, rng
-        )
+        self.link_predictor = MLP((2 * config.node_dim, config.node_dim, 1), device, rng)
         # The projected feature table is uploaded to the compute device once
         # (during warm-up / first use) and stays resident, as the reference
         # implementation keeps node features on the GPU.  Per-batch work then
@@ -142,8 +142,19 @@ class TGAT(DGNNModel):
     # -- inference -------------------------------------------------------------
 
     def inference_iteration(self, batch: EventStream) -> Tensor:
-        """Predict link scores for every interaction in the mini-batch."""
-        scores = self._forward(batch)
+        """Predict link scores for every interaction in the mini-batch.
+
+        With a serving cache attached the iteration runs cache-aware: the
+        embedding/sample stores are consulted before sampling and compute,
+        entries touched by the batch's events are invalidated afterwards,
+        and freshly computed rows are inserted.  At a staleness bound of 0
+        no entry is ever served, so the scores (and the sampler's RNG
+        stream) are byte-identical to the uncached path.
+        """
+        if self.cache is not None:
+            scores = self._cached_forward(batch, self.prepare_iteration(batch))
+        else:
+            scores = self._forward(batch)
         if self.machine.has_gpu:
             self.machine.synchronize()
         return scores
@@ -163,26 +174,66 @@ class TGAT(DGNNModel):
         """
         nodes = np.concatenate([batch.src, batch.dst])
         times = np.concatenate([batch.timestamps, batch.timestamps])
+        if self.cache is not None:
+            return self._prepare_cached(nodes, times)
         plan: List[NeighborhoodSample] = []
         self._sampling_plan(nodes, times, self.config.num_layers, plan)
         return plan
 
-    def compute_iteration(self, batch: EventStream, plan: List[NeighborhoodSample]) -> Tensor:
+    def _prepare_cached(self, nodes: np.ndarray, times: np.ndarray):
+        """Cache-admitted half of :meth:`prepare_iteration`.
+
+        Embedding-store hits are admitted first (each one short-circuits its
+        node's entire sampling subtree); the sampling plan -- itself fronted
+        by the sample store via :meth:`_sample` -- is then built for the
+        miss rows only.  Hits are admitted against the cache state at
+        *prepare* time: under the overlap server batch ``i+1`` is prepared
+        before batch ``i`` retires, exactly the admission race a pipelined
+        serving cache has in production.
+        """
+        from ..cache.model_cache import CachedPlan
+
+        hit_idx, hit_rows, miss_idx = self.cache.lookup_embeddings(nodes, times)
+        miss_nodes = nodes[miss_idx]
+        miss_times = times[miss_idx]
+        samples: List[NeighborhoodSample] = []
+        if miss_nodes.size:
+            self._sampling_plan(miss_nodes, miss_times, self.config.num_layers, samples)
+        return CachedPlan(
+            hit_indices=hit_idx,
+            hit_rows=hit_rows,
+            miss_indices=miss_idx,
+            miss_nodes=miss_nodes,
+            miss_times=miss_times,
+            samples=samples,
+        )
+
+    def compute_iteration(self, batch: EventStream, plan) -> Tensor:
         """Device-side half of one iteration, fed by a precomputed plan.
 
-        Synchronises only the compute device's default stream (not the whole
-        machine), so an in-flight asynchronous sampling stream keeps running.
+        ``plan`` is the list :meth:`prepare_iteration` returns on the
+        uncached path, or a :class:`~repro.cache.model_cache.CachedPlan`
+        when a serving cache is attached.  Synchronises only the compute
+        device's default stream (not the whole machine), so an in-flight
+        asynchronous sampling stream keeps running.
         """
-        scores = self._forward(batch, plan=iter(plan))
+        if self._is_cached_plan(plan):
+            scores = self._cached_forward(batch, plan)
+        else:
+            scores = self._forward(batch, plan=iter(plan))
         if self.machine.has_gpu:
-            self.machine.stream_synchronize(
-                self.machine.default_stream(self.compute_device)
-            )
+            self.machine.stream_synchronize(self.machine.default_stream(self.compute_device))
         return scores
+
+    @staticmethod
+    def _is_cached_plan(plan) -> bool:
+        return plan is not None and hasattr(plan, "miss_indices")
 
     # -- async dispatch (multi-GPU serving) -------------------------------------
 
-    def dispatch_iteration(self, batch: EventStream, plan: Optional[List[NeighborhoodSample]] = None):
+    def dispatch_iteration(
+        self, batch: EventStream, plan: Optional[List[NeighborhoodSample]] = None
+    ):
         """Run one iteration without blocking on the device.
 
         Host-side work (sampling -- unless a precomputed ``plan`` is given --
@@ -194,7 +245,12 @@ class TGAT(DGNNModel):
         once where the blocking :meth:`inference_iteration` would serialize
         them behind a full-machine synchronisation.
         """
-        self._forward(batch, plan=iter(plan) if plan is not None else None)
+        if self._is_cached_plan(plan):
+            self._cached_forward(batch, plan)
+        elif plan is None and self.cache is not None:
+            self._cached_forward(batch, self.prepare_iteration(batch))
+        else:
+            self._forward(batch, plan=iter(plan) if plan is not None else None)
         stream = self.machine.default_stream(self.compute_device)
         return self.machine.record_event(stream, name=f"{self.name}_dispatched")
 
@@ -210,7 +266,7 @@ class TGAT(DGNNModel):
             return
         config = self.config
         with self.machine.region("Sampling (CPU)"):
-            sample = self.sampler.sample(nodes, times, config.num_neighbors)
+            sample = self._sample(nodes, times, config.num_neighbors)
         out.append(sample)
         self._sampling_plan(nodes, times, layer - 1, out)
         flat_neighbors = sample.neighbor_ids.reshape(-1)
@@ -219,6 +275,17 @@ class TGAT(DGNNModel):
 
     # -- recursive temporal attention -----------------------------------------------
 
+    def _sample(self, nodes: np.ndarray, times: np.ndarray, k: int) -> NeighborhoodSample:
+        """One batched neighbourhood query, fronted by the sample cache.
+
+        Without an attached cache this is exactly ``self.sampler.sample``;
+        with one, valid cached rows are served and only the miss rows hit
+        the sampler (charging its CPU cost for those rows alone).
+        """
+        if self.cache is not None:
+            return self.cache.sample(self.sampler, nodes, times, k)
+        return self.sampler.sample(nodes, times, k)
+
     def _forward(
         self, batch: EventStream, plan: Optional[Iterator[NeighborhoodSample]] = None
     ) -> Tensor:
@@ -226,12 +293,67 @@ class TGAT(DGNNModel):
         nodes = np.concatenate([batch.src, batch.dst])
         times = np.concatenate([batch.timestamps, batch.timestamps])
         embeddings = self._embed(nodes, times, layer=self.config.num_layers, plan=plan)
-        num_events = batch.num_events
+        return self._score_pairs(embeddings, batch.num_events)
+
+    def _score_pairs(self, embeddings: Tensor, num_events: int) -> Tensor:
+        """Link-prediction head over the batch's (src, dst) embedding pairs."""
         src_emb = Tensor(embeddings.data[:num_events], embeddings.device)
         dst_emb = Tensor(embeddings.data[num_events:], embeddings.device)
         with self.machine.region("Attention Layer"):
             pair = ops.concat([src_emb, dst_emb], axis=-1)
             return ops.sigmoid(self.link_predictor(pair))
+
+    def _cached_forward(self, batch: EventStream, plan) -> Tensor:
+        """One mini-batch forward pass through the serving cache.
+
+        Embedding-store hits are materialised with a device gather (charged
+        by the cache); the miss rows run the ordinary recursive attention
+        over the plan's precomputed samples.  Afterwards the batch's events
+        invalidate the entries they touch and the freshly computed rows are
+        inserted at their query event times -- so an entry inserted by its
+        own batch survives, but pre-existing entries of touched nodes die.
+
+        With zero hits (always the case at staleness 0) the miss subset is
+        the whole batch and the resulting scores are byte-identical to
+        :meth:`_forward`.
+        """
+        cache = self.cache
+        nodes = np.concatenate([batch.src, batch.dst])
+        times = np.concatenate([batch.timestamps, batch.timestamps])
+        config = self.config
+        miss_emb: Optional[Tensor] = None
+        if plan.miss_nodes.size:
+            miss_emb = self._embed(
+                plan.miss_nodes,
+                plan.miss_times,
+                layer=config.num_layers,
+                plan=iter(plan.samples),
+            )
+        if plan.num_hits == 0:
+            assert miss_emb is not None
+            embeddings = miss_emb
+        else:
+            device = self.compute_device
+            merged = np.empty((len(nodes), config.node_dim), dtype=np.float32)
+            merged[plan.hit_indices] = plan.hit_rows
+            if miss_emb is not None:
+                merged[plan.miss_indices] = miss_emb.data
+            with self.machine.region("Others"):
+                # The hit rows are gathered from the device-resident cache
+                # pool into the batch's working tensor.
+                self.machine.launch_kernel(
+                    device,
+                    "cache_embedding_combine",
+                    0.0,
+                    float(merged.nbytes),
+                )
+            embeddings = Tensor(merged, device)
+        scores = self._score_pairs(embeddings, batch.num_events)
+        if cache is not None:
+            cache.observe_events(batch)
+            if plan.miss_nodes.size and miss_emb is not None:
+                cache.store_embeddings(plan.miss_nodes, plan.miss_times, miss_emb.data)
+        return scores
 
     def _embed(
         self,
@@ -251,7 +373,7 @@ class TGAT(DGNNModel):
         config = self.config
         if plan is None:
             with self.machine.region("Sampling (CPU)"):
-                sample = self.sampler.sample(nodes, times, config.num_neighbors)
+                sample = self._sample(nodes, times, config.num_neighbors)
         else:
             sample = next(plan)
         # Recursive lower-layer embeddings for the targets and their neighbours.
@@ -269,9 +391,7 @@ class TGAT(DGNNModel):
         # are produced on the host and must cross PCIe every layer -- this is
         # the per-batch "Memory Copy" the paper sees growing with the
         # neighbourhood size.
-        neighbor_dt_host = Tensor(
-            (times[:, None] - sample.neighbor_times).astype(np.float32), host
-        )
+        neighbor_dt_host = Tensor((times[:, None] - sample.neighbor_times).astype(np.float32), host)
         mask_host = Tensor(sample.mask, host)
         ids_host = Tensor(sample.neighbor_ids.astype(np.float32), host)
         neighbor_dt = neighbor_dt_host.to(device, name="neighbor_time_deltas")

@@ -58,10 +58,22 @@ class TGNConfig:
 
 
 class TGN(DGNNModel):
-    """Temporal graph network with a per-node memory module."""
+    """Temporal graph network with a per-node memory module.
+
+    With a serving cache attached (see :mod:`repro.cache`) the iteration
+    becomes cache-aware in two places: the per-node *memory rows* shipped to
+    the device each batch are fronted by a write-through device-resident
+    store (a hit skips the row's PCIe upload; values are exact because every
+    memory write re-registers its row), and the temporal-neighbourhood
+    queries are fronted by the sample store.  At a staleness bound of 0 no
+    entry is served and the iteration is byte-identical to uncached
+    execution.
+    """
 
     name = "tgn"
     serves_event_streams = True
+    supports_caching = True
+    cache_kinds = ("memory", "sample")
 
     def __init__(
         self,
@@ -129,13 +141,51 @@ class TGN(DGNNModel):
         """A copy of the current node-memory matrix (for tests/analysis)."""
         return self._memory.copy()
 
+    # -- cache plumbing ----------------------------------------------------------------
+
+    @property
+    def _memory_row_bytes(self) -> int:
+        return self.config.memory_dim * 4
+
+    def _sample(self, nodes: np.ndarray, times: np.ndarray, k: int):
+        """Neighbourhood query, fronted by the sample cache when attached."""
+        if self.cache is not None:
+            return self.cache.sample(self.sampler, nodes, times, k)
+        return self.sampler.sample(nodes, times, k)
+
+    def _upload_memory_rows(
+        self, host_rows: Tensor, nodes: np.ndarray, times: np.ndarray, name: str
+    ) -> Tensor:
+        """Move gathered memory rows to the device through the memory cache.
+
+        Rows with a live cache entry are served from the device-resident
+        pool (the cache charges their gather); only the miss rows pay the
+        host->device transfer, and they are registered for future batches.
+        The returned tensor always carries the host mirror's values, so
+        numerics are identical whether or not anything hit.
+        """
+        device = self.compute_device
+        cache = self.cache
+        if cache is None or cache.memory is None or not self.uses_gpu:
+            return host_rows.to(device, name=name)
+        hit_idx, miss_idx = cache.lookup_memory(nodes, times)
+        if miss_idx.size:
+            miss_host = Tensor(host_rows.data[miss_idx], self.host_device, name=name)
+            miss_host.to(device, name=name)
+            cache.store_memory_rows(
+                np.asarray(nodes)[miss_idx],
+                np.asarray(times, dtype=np.float64)[miss_idx],
+                self._memory_row_bytes,
+            )
+        return Tensor(host_rows.data, device, name=name)
+
     # -- inference ---------------------------------------------------------------------
 
     def inference_iteration(self, batch: EventStream) -> Tensor:
         """Process one batch of interactions; returns the edge probabilities."""
         device = self.compute_device
         host = self.host_device
-        src, dst, timestamps = batch.src, batch.dst, batch.timestamps
+        src, dst, timestamps = (batch.src, batch.dst, batch.timestamps)
         nodes = np.concatenate([src, dst])
 
         # (1) Raw-message collection on the host (Fig. 5(b) "Get Raw Messages").
@@ -145,9 +195,12 @@ class TGN(DGNNModel):
             dst_mem_host = ops.gather_rows(host_memory, dst)
             edge_feats_host = Tensor(batch.edge_features, host)
             deltas = (timestamps - self._last_update[src]).astype(np.float32)
-            # Batch payload crosses PCIe: memories, edge features, time deltas.
-            src_mem = src_mem_host.to(device, name="src_memory")
-            dst_mem = dst_mem_host.to(device, name="dst_memory")
+            # Batch payload crosses PCIe: memories, edge features, time
+            # deltas.  The memory rows go through the write-through device
+            # cache when one is attached, so previously registered rows skip
+            # the upload.
+            src_mem = self._upload_memory_rows(src_mem_host, src, timestamps, "src_memory")
+            dst_mem = self._upload_memory_rows(dst_mem_host, dst, timestamps, "dst_memory")
             edge_feats = edge_feats_host.to(device, name="edge_features")
             delta_t = Tensor(deltas, host).to(device, name="time_deltas")
 
@@ -166,15 +219,27 @@ class TGN(DGNNModel):
             self._memory[dst] = updated_dst_host.data
             self._last_update[src] = timestamps
             self._last_update[dst] = timestamps
+            if self.cache is not None and self.uses_gpu:
+                # Write-through: the refreshed rows are device-resident
+                # (``updated_src``/``updated_dst``), so re-register them at
+                # the batch's event times -- future uploads of these rows
+                # may be served from the device pool.
+                self.cache.store_memory_rows(src, timestamps, self._memory_row_bytes)
+                self.cache.store_memory_rows(dst, timestamps, self._memory_row_bytes)
 
         # (3) Temporal-neighbourhood message passing (sampling + gathering).
         with self.machine.region("Message Passing"):
-            sample = self.sampler.sample(nodes, np.concatenate([timestamps, timestamps]),
-                                         self.config.num_neighbors)
+            query_times_all = np.concatenate([timestamps, timestamps])
+            sample = self._sample(nodes, query_times_all, self.config.num_neighbors)
             neighbor_mem_host = ops.gather_rows(
                 Tensor(self._memory, host), sample.neighbor_ids.reshape(-1)
             )
-            neighbor_mem = neighbor_mem_host.to(device, name="neighbor_memory")
+            neighbor_mem = self._upload_memory_rows(
+                neighbor_mem_host,
+                sample.neighbor_ids.reshape(-1),
+                np.repeat(query_times_all, self.config.num_neighbors),
+                "neighbor_memory",
+            )
             neighbor_mem = ops.reshape(
                 neighbor_mem, (len(nodes), self.config.num_neighbors, self.config.memory_dim)
             )
@@ -202,6 +267,12 @@ class TGN(DGNNModel):
             scores = ops.sigmoid(self.link_predictor(ops.concat([src_emb, dst_emb], axis=-1)))
             scores_host = scores.to(host, name="edge_probabilities")
 
+        if self.cache is not None:
+            # The batch's events change their endpoints' neighbourhoods:
+            # drop those nodes' cached sample rows.  Memory entries are
+            # exempt -- the write-through above already re-registered the
+            # touched rows with their post-event values.
+            self.cache.observe_events(batch, kinds=("sample",))
         if self.machine.has_gpu:
             self.machine.synchronize()
         return scores_host

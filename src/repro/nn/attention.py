@@ -38,12 +38,12 @@ def scaled_dot_product_attention(
         scores = ops.add(scores, penalty)
     weights = ops.softmax(scores, axis=-1)
     attended = ops.matmul(weights, value, name="attn_v")
-    return attended, weights
+    return (attended, weights)
 
 
 def _swap_last_two(ndim: int) -> Tuple[int, ...]:
     axes = list(range(ndim))
-    axes[-2], axes[-1] = axes[-1], axes[-2]
+    axes[-2], axes[-1] = (axes[-1], axes[-2])
     return tuple(axes)
 
 

@@ -96,9 +96,7 @@ def gcn_forward(
     if adjacency.shape[0] != adjacency.shape[1]:
         raise ValueError("adjacency must be square")
     if adjacency.shape[1] != features.shape[0]:
-        raise ValueError(
-            f"adjacency ({adjacency.shape}) and features ({features.shape}) disagree"
-        )
+        raise ValueError(f"adjacency ({adjacency.shape}) and features ({features.shape}) disagree")
     aggregated = ops.spmm(adjacency, features)
     transformed = ops.matmul(aggregated, weight, name="gcn_transform")
     if activation == "relu":

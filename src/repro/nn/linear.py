@@ -45,9 +45,7 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.in_features:
-            raise ValueError(
-                f"Linear expected last dim {self.in_features}, got {x.shape[-1]}"
-            )
+            raise ValueError(f"Linear expected last dim {self.in_features}, got {x.shape[-1]}")
         return ops.linear(x, self.weight, self.bias)
 
 

@@ -39,9 +39,7 @@ class Module:
         params: Dict[str, Parameter] = self.__dict__.get("_parameters")
         modules: Dict[str, Module] = self.__dict__.get("_modules")
         if params is None or modules is None:
-            raise RuntimeError(
-                "Module.__init__() must be called before assigning attributes"
-            )
+            raise RuntimeError("Module.__init__() must be called before assigning attributes")
         if isinstance(value, Parameter):
             params[name] = value
             modules.pop(name, None)
@@ -58,7 +56,7 @@ class Module:
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
         """Yield ``(dotted_name, parameter)`` for this module and descendants."""
         for name, parameter in self._parameters.items():
-            yield (f"{prefix}{name}", parameter)
+            yield f"{prefix}{name}", parameter
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{name}.")
 
@@ -67,7 +65,7 @@ class Module:
 
     def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
         """Yield ``(dotted_name, module)`` including this module itself."""
-        yield (prefix.rstrip("."), self)
+        yield prefix.rstrip("."), self
         for name, module in self._modules.items():
             yield from module.named_modules(prefix=f"{prefix}{name}.")
 
@@ -110,9 +108,7 @@ class Module:
     # -- execution ---------------------------------------------------------------
 
     def forward(self, *args, **kwargs):
-        raise NotImplementedError(
-            f"{type(self).__name__} does not implement forward()"
-        )
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -27,9 +27,7 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.features:
-            raise ValueError(
-                f"LayerNorm expected last dim {self.features}, got {x.shape[-1]}"
-            )
+            raise ValueError(f"LayerNorm expected last dim {self.features}, got {x.shape[-1]}")
         return ops.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
 

@@ -91,7 +91,7 @@ class LSTMCell(Module):
         o_gate = ops.sigmoid(_slice_cols(gates, 3 * hs, 4 * hs))
         new_c = ops.add(ops.mul(f_gate, c), ops.mul(i_gate, g_gate))
         new_h = ops.mul(o_gate, ops.tanh(new_c))
-        return new_h, new_c
+        return (new_h, new_c)
 
 
 class GRU(Module):
@@ -126,7 +126,7 @@ class GRU(Module):
             x_t = Tensor(sequence.data[t], sequence.device)
             h = self.cell(x_t, h)
             outputs.append(h)
-        return ops.stack(outputs, axis=0), h
+        return (ops.stack(outputs, axis=0), h)
 
 
 class LSTM(Module):
@@ -162,7 +162,7 @@ class LSTM(Module):
             x_t = Tensor(sequence.data[t], sequence.device)
             h, c = self.cell(x_t, (h, c))
             outputs.append(h)
-        return ops.stack(outputs, axis=0), (h, c)
+        return (ops.stack(outputs, axis=0), (h, c))
 
 
 def _split3(tensor: Tensor, width: int) -> Tuple[Tensor, Tensor, Tensor]:

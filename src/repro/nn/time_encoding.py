@@ -85,9 +85,7 @@ class Time2Vec(Module):
         projected = ops.add(ops.mul(expanded, weight), bias)
         periodic = ops.sin(projected)
         # First component stays linear, the rest are periodic.
-        combined = np.concatenate(
-            [projected.data[..., :1], periodic.data[..., 1:]], axis=-1
-        )
+        combined = np.concatenate([projected.data[..., :1], periodic.data[..., 1:]], axis=-1)
         return Tensor(combined, timestamps.device)
 
 

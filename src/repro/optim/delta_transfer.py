@@ -17,8 +17,8 @@ from typing import Optional
 from ..core import MEMORY_COPY, compute_breakdown
 from ..datasets.base import SnapshotDataset
 from ..graph.snapshots import SnapshotSequence
-from ..models.evolvegcn import EvolveGCN, EvolveGCNConfig
 from ..experiments.runner import new_machine, profile_single_iteration
+from ..models.evolvegcn import EvolveGCN, EvolveGCNConfig
 
 
 @dataclass(frozen=True)

@@ -52,9 +52,7 @@ class PipelineEstimate:
         return self.baseline_ms / self.pipelined_ms
 
 
-def estimate_pipeline_speedup(
-    breakdown: Breakdown, stage_a: str, stage_b: str
-) -> PipelineEstimate:
+def estimate_pipeline_speedup(breakdown: Breakdown, stage_a: str, stage_b: str) -> PipelineEstimate:
     """Estimate the speedup from overlapping two stages of a breakdown."""
     a = breakdown.time_ms(stage_a)
     b = breakdown.time_ms(stage_b)
@@ -118,9 +116,7 @@ class PipelinedEvolveGCN:
                     with machine.use_stream(rnn_stream):
                         weight_0 = model.weight_rnn_0(weight_0, weight_0)
                         weight_1 = model.weight_rnn_1(weight_1, weight_1)
-                    weight_ready.append(
-                        machine.record_event(rnn_stream, name="weights_ready")
-                    )
+                    weight_ready.append(machine.record_event(rnn_stream, name="weights_ready"))
                 else:
                     weight_0 = model.weight_rnn_0(weight_0, weight_0)
                     weight_1 = model.weight_rnn_1(weight_1, weight_1)

@@ -25,6 +25,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..cache import merge_cache_stats
 from ..graph.events import EventStream
 from ..graph.partition import GraphPartition
 from ..hw.device import Device
@@ -118,6 +119,16 @@ class ShardedModel:
     def make_request_batch(self, payloads: Sequence[Any]) -> Any:
         return self.replicas[0].make_request_batch(payloads)
 
+    def cache_stats(self) -> Optional[Any]:
+        """Per-shard cache counters merged into one view (``None`` uncached)."""
+        return merge_cache_stats(
+            [
+                replica.cache_stats()
+                for replica in self.replicas
+                if callable(getattr(replica, "cache_stats", None))
+            ]
+        )
+
     def warm_up(self, batch: Optional[Any] = None) -> None:
         """Warm every shard's GPU (context, weights, allocation)."""
         for replica in self.replicas:
@@ -147,6 +158,7 @@ class ShardedModel:
             self._charge_cross_shard_gathers(index, plan)
             replica.dispatch_iteration(shard_batch, plan=plan)
             dispatched.append(index)
+        self._cross_shard_invalidation(batch, shard_positions)
         root_device = self.compute_device
         for index in dispatched:
             if index == self.root_index:
@@ -161,17 +173,56 @@ class ShardedModel:
         if root_device.is_gpu:
             machine.device_synchronize(root_device, name="shard_root_sync")
 
+    def _cross_shard_invalidation(
+        self, batch: EventStream, shard_positions: Sequence[np.ndarray]
+    ) -> None:
+        """Broadcast touched-node invalidations across the shard caches.
+
+        Each shard's own request path already invalidated (and re-inserted)
+        the entries its *local* events touched; but a shard may have cached
+        samples/embeddings of nodes whose events were routed to another
+        shard.  Every shard therefore invalidates the nodes touched by the
+        *other* shards' slices of the batch -- the coherence traffic graph
+        sharding adds on top of the neighbour gathers.
+        """
+        caches = [getattr(replica, "cache", None) for replica in self.replicas]
+        if not any(cache is not None for cache in caches):
+            return
+        touched_per_shard = [
+            (
+                batch.select(positions).touched_nodes()
+                if len(positions)
+                else np.empty(0, dtype=np.int64)
+            )
+            for positions in shard_positions
+        ]
+        for index, cache in enumerate(caches):
+            if cache is None:
+                continue
+            remote = [
+                nodes
+                for other, nodes in enumerate(touched_per_shard)
+                if other != index and nodes.size
+            ]
+            if not remote:
+                continue
+            cache.invalidate_nodes(np.unique(np.concatenate(remote)).tolist())
+
     def _charge_cross_shard_gathers(self, shard: int, plan: Sequence[Any]) -> None:
         """Charge remote neighbour-feature reads to the interconnect.
 
         Every sampled neighbour whose owner is another shard costs one
         ``row_bytes`` row over the ``owner -> shard`` route before this
-        shard's compute can run.
+        shard's compute can run.  Cache-served rows (a
+        :class:`~repro.cache.CachedPlan` whose hit nodes have no samples)
+        need no gather: their neighbour features were fetched when the
+        entry was populated.
         """
         machine = self.machine
         device = self.replicas[shard].compute_device
+        samples = plan.samples if hasattr(plan, "samples") else plan
         remote_rows = np.zeros(self.partition.num_shards, dtype=np.int64)
-        for sample in plan:
+        for sample in samples:
             ids = sample.neighbor_ids[sample.mask.astype(bool)]
             if ids.size == 0:
                 continue

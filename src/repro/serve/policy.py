@@ -79,9 +79,7 @@ class SchedulerPolicy:
         """Number of requests (from the queue head) to dispatch now; 0 = wait."""
         raise NotImplementedError
 
-    def next_deadline_ms(
-        self, queue: Sequence[Request], now_ms: float
-    ) -> Optional[float]:
+    def next_deadline_ms(self, queue: Sequence[Request], now_ms: float) -> Optional[float]:
         """Absolute time at which the policy wants to re-evaluate, or ``None``.
 
         The server advances the simulated clock to the earlier of this and
@@ -125,9 +123,7 @@ class TimeoutBatchingPolicy(SchedulerPolicy):
             return len(queue)
         return 0
 
-    def next_deadline_ms(
-        self, queue: Sequence[Request], now_ms: float
-    ) -> Optional[float]:
+    def next_deadline_ms(self, queue: Sequence[Request], now_ms: float) -> Optional[float]:
         if not queue:
             return None
         return queue[0].arrival_ms + self.batch_timeout_ms
@@ -198,9 +194,7 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
         # Deadline pressure: dispatch now with the largest batch that fits.
         return min(candidate, fitting)
 
-    def next_deadline_ms(
-        self, queue: Sequence[Request], now_ms: float
-    ) -> Optional[float]:
+    def next_deadline_ms(self, queue: Sequence[Request], now_ms: float) -> Optional[float]:
         timeout_deadline = super().next_deadline_ms(queue, now_ms)
         if not queue:
             return timeout_deadline
@@ -210,9 +204,7 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
         candidate = min(len(queue), self.max_batch_size)
         slack = self._slack_ms(queue[0], now_ms)
         cost = per_request * self.safety_factor
-        pressure_start = now_ms + slack - self.estimator.estimate(candidate) * (
-            self.safety_factor
-        )
+        pressure_start = now_ms + slack - self.estimator.estimate(candidate) * (self.safety_factor)
         if pressure_start <= now_ms:
             # Already under pressure: act immediately if a shrunken batch can
             # still make the deadline, otherwise wait for the plain timeout.
@@ -265,6 +257,4 @@ def make_policy(
             batch_timeout_ms=batch_timeout_ms,
             slo_ms=slo_ms if slo_ms is not None else 50.0,
         )
-    raise KeyError(
-        f"unknown policy {name!r}; available: {', '.join(available_policies())}"
-    )
+    raise KeyError(f"unknown policy {name!r}; available: {', '.join(available_policies())}")

@@ -168,7 +168,5 @@ def make_router(name: str, num_replicas: int) -> Router:
     """Build a router by registry name."""
     key = name.lower()
     if key not in ROUTERS:
-        raise KeyError(
-            f"unknown router {name!r}; available: {', '.join(available_routers())}"
-        )
+        raise KeyError(f"unknown router {name!r}; available: {', '.join(available_routers())}")
     return ROUTERS[key](num_replicas)

@@ -23,12 +23,21 @@ dispatch, replicated serving saturates once host work per batch exceeds
 ``device work / N`` -- the same host-bound ceiling a real single-process
 multi-GPU server hits, and exactly the regime the ``scaling`` experiment
 maps out.
+
+Per-replica caches: each replica may carry its own attached
+:class:`~repro.cache.ModelCache` (its entries live on that replica's GPU).
+A batch probes only the cache of the replica it is routed to, but its
+events are incoming graph mutations for *every* replica, so after a
+dispatch the server broadcasts the touched-node invalidation to all other
+replicas' caches -- the cache-coherence traffic a real replicated serving
+tier pays.  The report carries the counters merged across replicas.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+from ..cache import merge_cache_stats
 from ..core.profiler import Profiler
 from ..hw.stream import StreamEvent
 from .batcher import DynamicBatcher
@@ -53,9 +62,7 @@ class ScaleOutServer:
         if not replicas:
             raise ValueError("replicated serving needs at least one replica")
         if router.num_replicas != len(replicas):
-            raise ValueError(
-                f"router expects {router.num_replicas} replicas, got {len(replicas)}"
-            )
+            raise ValueError(f"router expects {router.num_replicas} replicas, got {len(replicas)}")
         for replica in replicas:
             if not getattr(replica, "supports_async_dispatch", False):
                 raise TypeError(
@@ -119,9 +126,14 @@ class ScaleOutServer:
         report.gpu_utilization = profile.gpu_utilization()
         report.per_device_utilization = profile.per_gpu_utilization()
         if profile.elapsed_ms > 0:
-            report.cpu_utilization = min(
-                1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms
-            )
+            report.cpu_utilization = min(1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms)
+        report.cache = merge_cache_stats(
+            [
+                replica.cache_stats()
+                for replica in self.replicas
+                if callable(getattr(replica, "cache_stats", None))
+            ]
+        )
         return report
 
     # -- serving loop -----------------------------------------------------------
@@ -158,7 +170,7 @@ class ScaleOutServer:
                 self._dispatch(self.batcher.force(now), t0)
                 continue
             machine.advance_host(max(min(targets) - now, 1e-6))
-        return completed, machine.host_time_ms - t0
+        return (completed, machine.host_time_ms - t0)
 
     # -- execution ---------------------------------------------------------------
 
@@ -198,6 +210,27 @@ class ScaleOutServer:
         ready = replica.dispatch_iteration(payload, plan=plan)
         self.router.notify_dispatch(target, len(batch))
         self._inflight.append((batch, target, ready))
+        self._broadcast_invalidation(target, payload)
+
+    def _broadcast_invalidation(self, origin: int, payload: Any) -> None:
+        """Invalidate the batch's touched nodes in every *other* replica cache.
+
+        The origin replica's own cache already handled the batch (its
+        request path invalidates and re-inserts); the other replicas only
+        learn that the touched nodes' cached samples/embeddings now predate
+        new graph events.  Charged as host work by each cache, modelling
+        the coherence fan-out of a replicated serving tier.
+        """
+        touched = None
+        for index, replica in enumerate(self.replicas):
+            if index == origin:
+                continue
+            cache = getattr(replica, "cache", None)
+            if cache is None:
+                continue
+            if touched is None:
+                touched = payload.touched_nodes().tolist()
+            cache.invalidate_nodes(touched)
 
     @staticmethod
     def sampling_stream(replica_index: int) -> str:

@@ -23,6 +23,14 @@ Two execution modes:
   simulated time exactly as in :class:`repro.optim.OverlappedRunner`.  Under
   load this shortens the effective service time towards
   ``max(host, device)``, which is what pulls in the p99.
+
+Cache-aware serving: when the model carries an attached
+:class:`~repro.cache.ModelCache` (``repro-dgnn serve --cache``), every
+dispatched batch consults the staleness-bounded embedding/sample stores
+before sampling and compute -- in overlap mode the cache admission happens
+inside the prepare phase on the sampling stream, mirroring a pipelined
+serving cache.  The server itself only reads the telemetry: the merged
+hit/miss/staleness/eviction counters land in :attr:`ServingReport.cache`.
 """
 
 from __future__ import annotations
@@ -46,9 +54,7 @@ class InferenceServer:
     #: Name of the CPU stream overlap-mode sampling is issued onto.
     SAMPLING_STREAM = "serve-sampling"
 
-    def __init__(
-        self, model: Any, policy: SchedulerPolicy, overlap: bool = False
-    ) -> None:
+    def __init__(self, model: Any, policy: SchedulerPolicy, overlap: bool = False) -> None:
         if overlap and not getattr(model, "supports_overlap", False):
             raise TypeError(
                 f"{type(model).__name__} does not implement the overlap protocol "
@@ -101,10 +107,11 @@ class InferenceServer:
         report.per_device_utilization = profile.per_gpu_utilization()
         report.placement = getattr(self.model, "serving_placement", "single")
         report.num_replicas = getattr(self.model, "num_replicas", 1)
+        stats = getattr(self.model, "cache_stats", None)
+        if callable(stats):
+            report.cache = stats()
         if profile.elapsed_ms > 0:
-            report.cpu_utilization = min(
-                1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms
-            )
+            report.cpu_utilization = min(1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms)
         return report
 
     # -- serving loop -----------------------------------------------------------
@@ -127,7 +134,7 @@ class InferenceServer:
             if self._inflight is not None:
                 # Nothing new to form: retire the in-flight batch.  Requests
                 # arriving during its device work are admitted next tick.
-                entry, self._inflight = self._inflight, None
+                entry, self._inflight = (self._inflight, None)
                 self._compute(entry, t0, completed)
                 continue
             # Idle: advance the clock to the next actionable instant.
@@ -144,13 +151,11 @@ class InferenceServer:
                 self._dispatch(self.batcher.force(now), t0, completed)
                 continue
             machine.advance_host(max(min(targets) - now, 1e-6))
-        return completed, machine.host_time_ms - t0
+        return (completed, machine.host_time_ms - t0)
 
     # -- execution ---------------------------------------------------------------
 
-    def _dispatch(
-        self, batch: List[Request], t0: float, completed: List[Request]
-    ) -> None:
+    def _dispatch(self, batch: List[Request], t0: float, completed: List[Request]) -> None:
         """Execute (or pipeline) one freshly formed batch."""
         machine = self.model.machine
         now = machine.host_time_ms - t0
@@ -169,13 +174,11 @@ class InferenceServer:
         with machine.use_stream(stream):
             plan = self.model.prepare_iteration(payload)
             ready = machine.record_event(stream, name="serve_prepared")
-        previous, self._inflight = self._inflight, (batch, payload, plan, ready)
+        previous, self._inflight = (self._inflight, (batch, payload, plan, ready))
         if previous is not None:
             self._compute(previous, t0, completed)
 
-    def _compute(
-        self, entry: _Inflight, t0: float, completed: List[Request]
-    ) -> None:
+    def _compute(self, entry: _Inflight, t0: float, completed: List[Request]) -> None:
         """Retire one prepared batch: wait for its plan, run device compute."""
         batch, payload, plan, ready = entry
         machine = self.model.machine
@@ -183,9 +186,7 @@ class InferenceServer:
         self.model.compute_iteration(payload, plan)
         self._finish(batch, t0, completed)
 
-    def _finish(
-        self, batch: List[Request], t0: float, completed: List[Request]
-    ) -> None:
+    def _finish(self, batch: List[Request], t0: float, completed: List[Request]) -> None:
         """Stamp completions and feed the service time back to the policy."""
         machine = self.model.machine
         done = machine.host_time_ms - t0

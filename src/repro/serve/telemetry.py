@@ -10,7 +10,7 @@ serving numbers use exactly the same interpolation as offline analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..core.stats import LatencySummary
 from .request import Request
@@ -37,6 +37,10 @@ class ServingReport:
         placement: ``"single"``, ``"replicate"`` or ``"shard"``.
         router: ``describe()`` string of the batch router (replicated runs).
         num_replicas: Number of model replicas/shards serving the run.
+        cache: Merged serving-cache telemetry (``None`` when uncached):
+            policy/capacity/staleness configuration plus hit/miss/staleness/
+            eviction counters and byte occupancy, as produced by
+            :meth:`repro.cache.ModelCache.stats` (or the multi-replica merge).
     """
 
     label: str
@@ -52,6 +56,7 @@ class ServingReport:
     router: str = ""
     num_replicas: int = 1
     per_device_utilization: Dict[str, float] = field(default_factory=dict)
+    cache: Optional[Dict[str, Any]] = None
 
     # -- latency distributions -------------------------------------------------
 
@@ -85,9 +90,7 @@ class ServingReport:
         """Fraction of completed requests that missed their SLO."""
         if self.completed == 0:
             return 0.0
-        return sum(1 for r in self.requests if r.is_completed and r.slo_violated) / (
-            self.completed
-        )
+        return sum(1 for r in self.requests if r.is_completed and r.slo_violated) / (self.completed)
 
     @property
     def mean_batch_size(self) -> float:
@@ -130,15 +133,17 @@ class ServingReport:
                 name: round(value, 4)
                 for name, value in sorted(self.per_device_utilization.items())
             }
+        if self.cache is not None:
+            row["cache_hit_rate"] = self.cache.get("hit_rate", 0.0)
+            row["cache_mb"] = round(self.cache.get("bytes_peak", 0) / 1e6, 3)
+            row["cache"] = self.cache
         if self.completed:
             for prefix, summary in (
                 ("", self.total_latency()),
                 ("queue_", self.queue_latency()),
                 ("service_", self.service_latency()),
             ):
-                row.update(
-                    {k: round(v, 3) for k, v in summary.as_dict(prefix).items()}
-                )
+                row.update({k: round(v, 3) for k, v in summary.as_dict(prefix).items()})
         return row
 
     def format_table(self) -> str:
@@ -149,13 +154,9 @@ class ServingReport:
         if self.placement != "single":
             spread = self.requests_per_replica()
             detail = f"   router: {self.router}" if self.router else ""
-            lines.append(
-                f"  placement: {self.placement} x{self.num_replicas}{detail}"
-            )
+            lines.append(f"  placement: {self.placement} x{self.num_replicas}{detail}")
             if spread:
-                shares = "  ".join(
-                    f"r{idx}:{count}" for idx, count in sorted(spread.items())
-                )
+                shares = "  ".join(f"r{idx}:{count}" for idx, count in sorted(spread.items()))
                 lines.append(f"  per-replica completions: {shares}")
         lines.append(
             f"  requests: {self.completed}/{self.offered} completed over "
@@ -177,6 +178,24 @@ class ServingReport:
                     f"p50 {summary.p50_ms:8.3f}   p95 {summary.p95_ms:8.3f}   "
                     f"p99 {summary.p99_ms:8.3f}   max {summary.max_ms:8.3f}"
                 )
+        if self.cache is not None:
+            caches = self.cache.get("caches", 1)
+            suffix = f" across {caches} caches" if caches > 1 else ""
+            lines.append(
+                f"  cache:    {self.cache.get('policy', '?')} "
+                f"{self.cache.get('capacity_mb', 0):g} MB, staleness "
+                f"{self.cache.get('staleness_ms', 0):g} ms{suffix}"
+            )
+            lines.append(
+                f"  cache hits: {self.cache.get('hits', 0)}/"
+                f"{self.cache.get('lookups', 0)} "
+                f"({self.cache.get('hit_rate', 0.0) * 100:.1f}%)   "
+                f"evictions: {self.cache.get('evictions', 0)}   "
+                f"stale: {self.cache.get('stale_rejects', 0)}   "
+                f"invalidated: {self.cache.get('invalidations', 0)}   "
+                f"occupancy: {self.cache.get('bytes_current', 0) / 1e6:.2f} MB "
+                f"(peak {self.cache.get('bytes_peak', 0) / 1e6:.2f} MB)"
+            )
         lines.append(
             f"  utilization: GPU {self.gpu_utilization * 100:.2f}%   "
             f"CPU {self.cpu_utilization * 100:.2f}%"

@@ -141,14 +141,9 @@ class TraceReplay(ArrivalProcess):
 
     name = "trace"
 
-    def __init__(
-        self, rate_per_s: float, trace_timestamps: Sequence[float], seed: int = 0
-    ) -> None:
+    def __init__(self, rate_per_s: float, trace_timestamps: Sequence[float], seed: int = 0) -> None:
         super().__init__(rate_per_s, seed=seed)
-        gaps = [
-            float(b) - float(a)
-            for a, b in zip(trace_timestamps[:-1], trace_timestamps[1:])
-        ]
+        gaps = [float(b) - float(a) for a, b in zip(trace_timestamps[:-1], trace_timestamps[1:])]
         gaps = [g for g in gaps if g >= 0.0]
         if not gaps:
             raise ValueError("trace replay needs at least two ordered timestamps")

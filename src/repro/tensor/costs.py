@@ -38,13 +38,13 @@ def matmul_cost(m: int, k: int, n: int) -> Tuple[float, float]:
     """(flops, bytes) of a dense (m, k) @ (k, n) product."""
     flops = 2.0 * m * k * n
     traffic = ITEMSIZE * (m * k + k * n + m * n)
-    return flops, float(traffic)
+    return (flops, float(traffic))
 
 
 def batched_matmul_cost(batch: int, m: int, k: int, n: int) -> Tuple[float, float]:
     """(flops, bytes) of ``batch`` independent (m, k) @ (k, n) products."""
     flops, traffic = matmul_cost(m, k, n)
-    return batch * flops, batch * traffic
+    return (batch * flops, batch * traffic)
 
 
 def elementwise_cost(
@@ -54,14 +54,14 @@ def elementwise_cost(
     numel = _numel(out_shape)
     flops = flops_per_element * numel
     traffic = ITEMSIZE * numel * (n_inputs + 1)
-    return flops, float(traffic)
+    return (flops, float(traffic))
 
 
 def reduction_cost(in_shape: Sequence[int], out_shape: Sequence[int]) -> Tuple[float, float]:
     """(flops, bytes) of a reduction (sum/mean/max) from ``in_shape``."""
     flops = float(_numel(in_shape))
     traffic = ITEMSIZE * (_numel(in_shape) + _numel(out_shape))
-    return flops, float(traffic)
+    return (flops, float(traffic))
 
 
 def softmax_cost(shape: Sequence[int]) -> Tuple[float, float]:
@@ -70,27 +70,27 @@ def softmax_cost(shape: Sequence[int]) -> Tuple[float, float]:
     # max, subtract, exp, sum, divide ~ 5 passes over the data.
     flops = 5.0 * numel
     traffic = ITEMSIZE * numel * 3
-    return flops, float(traffic)
+    return (flops, float(traffic))
 
 
 def copy_cost(shape: Sequence[int]) -> Tuple[float, float]:
     """(flops, bytes) of a data movement op (concat/stack/transpose/reshape copy)."""
     numel = _numel(shape)
-    return 0.0, float(ITEMSIZE * numel * 2)
+    return (0.0, float(ITEMSIZE * numel * 2))
 
 
 def gather_cost(out_shape: Sequence[int]) -> Tuple[float, float]:
     """(flops, bytes) of an irregular gather producing ``out_shape``."""
     numel = _numel(out_shape)
     traffic = ITEMSIZE * numel * 2 * IRREGULAR_ACCESS_FACTOR
-    return 0.0, float(traffic)
+    return (0.0, float(traffic))
 
 
 def scatter_cost(updates_shape: Sequence[int]) -> Tuple[float, float]:
     """(flops, bytes) of an irregular scatter of ``updates_shape`` elements."""
     numel = _numel(updates_shape)
     traffic = ITEMSIZE * numel * 2 * IRREGULAR_ACCESS_FACTOR
-    return 0.0, float(traffic)
+    return (0.0, float(traffic))
 
 
 def nbytes(shape: Sequence[int]) -> int:

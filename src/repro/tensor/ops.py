@@ -44,8 +44,8 @@ def _record(device: Device, name: str, flops: float, bytes_moved: float) -> None
 def _binary_operands(a: Tensor, b: Union[Tensor, Scalar]) -> Tuple[Tensor, Tensor, Device]:
     if isinstance(b, Tensor):
         device = ensure_same_device(a, b)
-        return a, b, device
-    return a, Tensor(np.asarray(b, dtype=np.float32), a.device), a.device
+        return (a, b, device)
+    return (a, Tensor(np.asarray(b, dtype=np.float32), a.device), a.device)
 
 
 # -- dense linear algebra ----------------------------------------------------
@@ -57,7 +57,7 @@ def matmul(a: Tensor, b: Tensor, name: str = "gemm") -> Tensor:
     result = np.matmul(a.data, b.data)
     if a.ndim >= 2 and b.ndim >= 2:
         a_shape = a.data.shape
-        m, k = a_shape[-2], a_shape[-1]
+        m, k = (a_shape[-2], a_shape[-1])
         n = b.data.shape[-1]
         batch = _prod(result.shape[:-2]) if result.ndim > 2 else 1
         flops, traffic = costs.batched_matmul_cost(batch, m, k, n)
@@ -323,9 +323,7 @@ def spmm(adjacency: Tensor, x: Tensor, nnz: Optional[int] = None) -> Tensor:
     non_zeros = int(np.count_nonzero(adjacency.data)) if nnz is None else int(nnz)
     feature_dim = x.shape[-1]
     flops = 2.0 * non_zeros * feature_dim
-    traffic = costs.ITEMSIZE * (
-        non_zeros * 2 + non_zeros * feature_dim + result.size
-    ) * 2.0
+    traffic = costs.ITEMSIZE * (non_zeros * 2 + non_zeros * feature_dim + result.size) * 2.0
     _record(device, "spmm", flops, traffic)
     return Tensor(result, device)
 

@@ -91,12 +91,8 @@ class Tensor:
         return cls(np.ones(shape, dtype=np.float32), device, name=name, track_memory=True)
 
     @classmethod
-    def full(
-        cls, shape: Sequence[int], value: float, device: Device, name: str = ""
-    ) -> "Tensor":
-        return cls(
-            np.full(shape, value, dtype=np.float32), device, name=name, track_memory=True
-        )
+    def full(cls, shape: Sequence[int], value: float, device: Device, name: str = "") -> "Tensor":
+        return cls(np.full(shape, value, dtype=np.float32), device, name=name, track_memory=True)
 
     @classmethod
     def randn(
@@ -183,9 +179,7 @@ class Tensor:
                 non_blocking=non_blocking,
             )
         track = True if track_memory is None else track_memory
-        return Tensor(
-            self.data, device, name=name or self.name, track_memory=track
-        )
+        return Tensor(self.data, device, name=name or self.name, track_memory=track)
 
     def free(self) -> None:
         """Release the tracked allocation, if any."""

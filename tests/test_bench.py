@@ -38,6 +38,7 @@ def test_scenario_registry_covers_required_families():
     names = available_scenarios()
     assert "training_iteration" in names
     assert {"serving_blocking", "serving_overlap"} <= set(names)
+    assert {"serving_blocking_cached", "serving_overlap_cached"} <= set(names)
     assert {"scaling_1gpu", "scaling_2gpu", "scaling_4gpu"} <= set(names)
 
 

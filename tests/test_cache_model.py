@@ -1,0 +1,201 @@
+"""Model-layer cache tests: golden byte-equivalence and invalidation.
+
+The load-bearing guarantee: with a cache attached at staleness 0, every
+model output (and the sampler's RNG stream) is byte-identical to uncached
+execution -- the cache degenerates to write-through bookkeeping.  At nonzero
+staleness TGAT outputs are approximations (that is the point), while TGN
+memory-row hits never change numerics at all (values are exact copies).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import ModelCache, make_model_cache
+from repro.datasets import load
+from repro.hw import Machine
+from repro.models.ldg import LDG
+from repro.models.tgat import TGAT, TGATConfig
+from repro.models.tgn import TGN, TGNConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("wikipedia", scale="tiny")
+
+
+def run_tgat(dataset, cache_kwargs, batches=4, **config_kwargs):
+    config = TGATConfig(num_neighbors=5, batch_size=32, seed=0, **config_kwargs)
+    machine = Machine.cpu_gpu()
+    with machine.activate():
+        model = TGAT(machine, dataset, config)
+        if cache_kwargs is not None:
+            make_model_cache(model, **cache_kwargs)
+        outputs = []
+        for index, batch in enumerate(model.iteration_batches()):
+            if index == 0:
+                model.warm_up(batch)
+            outputs.append(model.inference_iteration(batch).data.copy())
+            if index + 1 >= batches:
+                break
+    return (outputs, model)
+
+
+def run_tgn(dataset, cache_kwargs, batches=3):
+    machine = Machine.cpu_gpu()
+    with machine.activate():
+        model = TGN(machine, dataset, TGNConfig(num_neighbors=5, batch_size=32, seed=1))
+        if cache_kwargs is not None:
+            make_model_cache(model, **cache_kwargs)
+        outputs = []
+        for index, batch in enumerate(model.iteration_batches()):
+            if index == 0:
+                model.warm_up(batch)
+            outputs.append(model.inference_iteration(batch).data.copy())
+            if index + 1 >= batches:
+                break
+    return (outputs, model)
+
+
+def test_tgat_staleness_zero_is_byte_identical(dataset):
+    """Golden equivalence: cache on at staleness 0 == cache off, bytewise."""
+    base_outputs, base_model = run_tgat(dataset, None)
+    for policy in ("lru", "lfu", "degree"):
+        cached_outputs, cached_model = run_tgat(
+            dataset, dict(policy=policy, capacity_mb=4.0, staleness_ms=0.0)
+        )
+        for base, cached in zip(base_outputs, cached_outputs):
+            assert np.array_equal(base, cached)
+        # The sampler consumed exactly the same draw sequence.
+        assert (
+            base_model.sampler._rng.bit_generator.state
+            == cached_model.sampler._rng.bit_generator.state
+        )
+        stats = cached_model.cache_stats()
+        assert stats["hits"] == 0
+        assert stats["lookups"] > 0
+
+
+def test_tgat_overlap_protocol_staleness_zero_is_byte_identical(dataset):
+    """prepare/compute with a CachedPlan reproduces the plain plan bytewise."""
+    machine_a = Machine.cpu_gpu()
+    machine_b = Machine.cpu_gpu()
+    config = TGATConfig(num_neighbors=5, batch_size=32, seed=0)
+    with machine_a.activate():
+        uncached = TGAT(machine_a, dataset, config)
+        batch = next(uncached.iteration_batches())
+        uncached.warm_up(batch)
+        plain = uncached.compute_iteration(batch, uncached.prepare_iteration(batch))
+    with machine_b.activate():
+        cached = TGAT(machine_b, dataset, config)
+        make_model_cache(cached, policy="lru", capacity_mb=4.0, staleness_ms=0.0)
+        cached.warm_up(batch)
+        plan = cached.prepare_iteration(batch)
+        assert plan.num_hits == 0
+        result = cached.compute_iteration(batch, plan)
+    assert np.array_equal(plain.data, result.data)
+
+
+def test_tgat_warm_cache_hits_and_skips_sampling(dataset):
+    outputs, model = run_tgat(
+        dataset, dict(policy="lru", capacity_mb=16.0, staleness_ms=1e12)
+    )
+    stats = model.cache_stats()
+    assert stats["hits"] > 0
+    assert 0.0 < stats["hit_rate"] < 1.0
+    assert stats["by_kind"]["embedding"]["hits"] > 0
+    assert stats["by_kind"]["sample"]["hits"] > 0
+    # Outputs stay probability-shaped even on the approximate path.
+    for out in outputs:
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+def test_tgat_cached_run_is_seed_reproducible(dataset):
+    first, model_a = run_tgat(
+        dataset, dict(policy="degree", capacity_mb=8.0, staleness_ms=1e6)
+    )
+    second, model_b = run_tgat(
+        dataset, dict(policy="degree", capacity_mb=8.0, staleness_ms=1e6)
+    )
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    assert model_a.cache_stats() == model_b.cache_stats()
+    assert model_a.machine.host_time_ms == model_b.machine.host_time_ms
+
+
+def test_tgn_cached_numerics_identical_at_any_staleness(dataset):
+    """TGN memory-row hits skip transfers only: values are exact copies."""
+    base_outputs, _ = run_tgn(dataset, None)
+    for staleness in (0.0, 1e12):
+        cached_outputs, model = run_tgn(
+            dataset, dict(policy="lru", capacity_mb=8.0, staleness_ms=staleness)
+        )
+        for base, cached in zip(base_outputs, cached_outputs):
+            assert np.array_equal(base, cached)
+        stats = model.cache_stats()
+        if staleness > 0:
+            assert stats["by_kind"]["memory"]["hits"] > 0
+
+
+def test_tgn_warm_cache_shrinks_memory_row_transfers(dataset):
+    def memory_row_bytes(machine):
+        return sum(
+            event.bytes
+            for event in machine.events
+            if event.kind == "transfer"
+            and event.name in ("src_memory", "dst_memory", "neighbor_memory")
+        )
+
+    _, uncached = run_tgn(dataset, None)
+    _, cached = run_tgn(dataset, dict(policy="lru", capacity_mb=32.0, staleness_ms=1e12))
+    # Memory-row hits are served from the device-resident pool, so the PCIe
+    # traffic for memory rows strictly shrinks (by the hit rows' bytes).
+    hit_bytes = cached.cache.memory.stats.hits * cached._memory_row_bytes
+    assert hit_bytes > 0
+    assert memory_row_bytes(cached.machine) == memory_row_bytes(uncached.machine) - hit_bytes
+
+
+def test_event_invalidation_drops_touched_entries(dataset):
+    _, model = run_tgat(
+        dataset, dict(policy="lru", capacity_mb=16.0, staleness_ms=1e12), batches=1
+    )
+    cache = model.cache
+    batch = next(model.iteration_batches())
+    touched = np.unique(np.concatenate([batch.src, batch.dst]))
+    store = cache.embeddings
+    with model.machine.activate():
+        # Freshly inserted entries for the batch's own nodes survive their
+        # batch (store-after-invalidate), so the touched nodes are present...
+        present = [node for node in touched.tolist() if node in store]
+        assert present
+        before = cache.stats()["invalidations"]
+        cache.observe_events(batch)
+        # ...and an invalidation sweep for the same events removes them.
+        assert all(node not in store for node in touched.tolist())
+        assert cache.stats()["invalidations"] > before
+
+
+def test_attach_cache_refuses_non_caching_models(dataset):
+    machine = Machine.cpu_gpu()
+    with machine.activate():
+        model = LDG(machine, dataset)
+    with pytest.raises(TypeError, match="does not support request caching"):
+        make_model_cache(model)
+    assert model.cache_stats() is None
+
+
+def test_model_cache_rejects_unknown_kinds_and_bad_budgets():
+    machine = Machine.cpu_gpu()
+    with pytest.raises(ValueError, match="unknown cache kind"):
+        ModelCache(machine, machine.gpu, kinds=("weights",))
+    with pytest.raises(ValueError, match="at least one entry kind"):
+        ModelCache(machine, machine.gpu, kinds=())
+    with pytest.raises(ValueError, match="capacity"):
+        ModelCache(machine, machine.gpu, kinds=("embedding",), capacity_mb=0.0)
+
+
+def test_degree_policy_is_wired_to_the_sampler(dataset):
+    _, model = run_tgat(
+        dataset, dict(policy="degree", capacity_mb=8.0, staleness_ms=1e6), batches=1
+    )
+    store = model.cache.embeddings
+    assert store.weight_of == model.sampler.total_degree

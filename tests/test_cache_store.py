@@ -1,0 +1,218 @@
+"""DeviceResidentCache tests: staleness, pressure, invalidation, charging.
+
+Includes the seeded property tests the cache subsystem is gated on:
+* the store never serves an entry whose event-time age falls outside the
+  strict ``[0, staleness)`` window, and
+* the charged device memory (the store's own ledger *and* the simulated
+  device pool's per-tag usage) never exceeds the configured capacity.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import DeviceResidentCache, make_eviction_policy
+from repro.hw import Machine
+from repro.hw.events import ALLOC, FREE
+
+
+def make_store(
+    machine=None,
+    kind="embedding",
+    policy="lru",
+    capacity=1000,
+    staleness=100.0,
+    weight_of=None,
+):
+    machine = machine if machine is not None else Machine.cpu_gpu()
+    device = machine.gpu if kind in ("embedding", "memory") else machine.cpu
+    store = DeviceResidentCache(
+        machine,
+        device,
+        kind,
+        make_eviction_policy(policy),
+        capacity,
+        staleness,
+        weight_of=weight_of,
+    )
+    return (machine, store)
+
+
+def test_rejects_bad_configuration():
+    machine = Machine.cpu_gpu()
+    with pytest.raises(ValueError, match="capacity"):
+        DeviceResidentCache(
+            machine, machine.gpu, "embedding", make_eviction_policy("lru"), 0, 1.0
+        )
+    with pytest.raises(ValueError, match="staleness"):
+        DeviceResidentCache(
+            machine, machine.gpu, "embedding", make_eviction_policy("lru"), 10, -1.0
+        )
+
+
+def test_staleness_window_is_strict():
+    _, store = make_store(staleness=10.0)
+    store.put(7, "row", event_ms=100.0, nbytes=10)
+    store.flush_charges()
+    assert store.probe(7, 100.0) == "row"  # age 0 is inside
+    assert store.probe(7, 109.999) == "row"  # just inside
+    assert store.probe(7, 110.0) is None  # age == bound: rejected + expired
+    assert 7 not in store
+    assert store.stats.stale_rejects == 1
+    assert store.stats.stale_evictions == 1
+
+
+def test_staleness_zero_never_serves():
+    _, store = make_store(staleness=0.0)
+    store.put(1, "row", event_ms=5.0, nbytes=4)
+    assert store.probe(1, 5.0) is None
+    assert store.stats.hits == 0
+    assert store.stats.misses == 1
+
+
+def test_entries_from_the_future_are_not_served_but_kept():
+    _, store = make_store(staleness=50.0)
+    store.put(1, "row", event_ms=100.0, nbytes=4)
+    # A query before the entry's event time must not see it...
+    assert store.probe(1, 90.0) is None
+    # ...but the entry is not expired (it is still valid for later queries).
+    assert store.probe(1, 120.0) == "row"
+
+
+def test_eviction_under_forced_memory_pressure_lru():
+    _, store = make_store(capacity=30, staleness=1e9)
+    for key in (1, 2, 3):
+        store.put(key, f"row{key}", event_ms=0.0, nbytes=10)
+    store.probe(1, 0.0)  # 1 is now the most recently served
+    assert store.put(4, "row4", event_ms=0.0, nbytes=10)
+    assert 2 not in store  # LRU victim
+    assert 1 in store and 3 in store and 4 in store
+    assert store.stats.evictions == 1
+    assert store.bytes_current == 30
+
+
+def test_eviction_under_forced_memory_pressure_degree():
+    degrees = {1: 100.0, 2: 1.0, 3: 50.0}
+    _, store = make_store(
+        policy="degree", capacity=30, staleness=1e9, weight_of=degrees.get
+    )
+    for key in (1, 2, 3):
+        store.put(key, f"row{key}", event_ms=0.0, nbytes=10)
+    store.put(4, "row4", event_ms=0.0, nbytes=10)
+    assert 2 not in store  # smallest degree goes first
+    assert 1 in store and 3 in store
+
+
+def test_oversized_entries_are_rejected_outright():
+    _, store = make_store(capacity=100, staleness=1e9)
+    store.put(1, "keep", event_ms=0.0, nbytes=60)
+    assert not store.put(2, "huge", event_ms=0.0, nbytes=101)
+    assert 2 not in store
+    assert 1 in store  # nothing was evicted for a hopeless insert
+    assert store.stats.evictions == 0
+
+
+def test_overwrite_replaces_without_double_counting():
+    _, store = make_store(capacity=100, staleness=1e9)
+    store.put(1, "old", event_ms=0.0, nbytes=40)
+    store.put(1, "new", event_ms=5.0, nbytes=60)
+    assert store.bytes_current == 60
+    assert store.probe(1, 5.0) == "new"
+    assert len(store) == 1
+
+
+def test_invalidation_on_events_drops_touched_entries():
+    _, store = make_store(staleness=1e9)
+    for key in (1, 2, 3):
+        store.put(key, key, event_ms=0.0, nbytes=8)
+    dropped = store.invalidate([1, 3, 99])
+    assert dropped == 2
+    assert store.stats.invalidations == 2
+    assert 1 not in store and 3 not in store and 2 in store
+    assert store.bytes_current == 8
+
+
+def test_residency_is_charged_to_the_device_memory_pool():
+    machine, store = make_store(capacity=1000, staleness=1e9)
+    gpu = machine.gpu
+    with machine.activate():
+        store.put(1, "a", event_ms=0.0, nbytes=100)
+        store.put(2, "b", event_ms=0.0, nbytes=200)
+        store.flush_charges()
+        assert gpu.memory.usage_by_tag().get("cache:embedding") == 300
+        store.invalidate([1])
+        store.flush_charges()
+        assert gpu.memory.usage_by_tag().get("cache:embedding") == 200
+    kinds = [e.kind for e in machine.events]
+    assert ALLOC in kinds and FREE in kinds
+
+
+def test_lookups_and_updates_are_charged_on_the_machine_clock():
+    machine, store = make_store(capacity=1000, staleness=1e9)
+    with machine.activate():
+        before = machine.host_time_ms
+        store.put(1, "a", event_ms=0.0, nbytes=100)
+        store.probe(1, 0.0)
+        store.flush_charges("test")
+        after = machine.host_time_ms
+    assert after > before  # host admin work moved the cursor
+    names = [e.name for e in machine.events]
+    assert any(n.startswith("cache_embedding_admin") for n in names)
+    assert any(n.startswith("cache_embedding_gather") for n in names)
+    assert any(n.startswith("cache_embedding_insert") for n in names)
+
+
+def test_flush_without_activity_charges_nothing():
+    machine, store = make_store()
+    with machine.activate():
+        count = machine.event_count
+        store.flush_charges()
+        assert machine.event_count == count
+
+
+@pytest.mark.parametrize("policy", ["lru", "lfu", "degree"])
+def test_property_staleness_bound_and_capacity_never_violated(policy):
+    """Seeded random op streams: the two cache safety invariants hold.
+
+    (1) a probe only ever serves entries with age in [0, staleness);
+    (2) the store's ledger and the device pool's cache-tag usage never
+        exceed the configured capacity.
+    """
+    rng = random.Random(1234)
+    machine = Machine.cpu_gpu()
+    capacity = 500
+    staleness = 25.0
+    degrees = {key: float(rng.randrange(1, 200)) for key in range(40)}
+    _, store = make_store(
+        machine,
+        policy=policy,
+        capacity=capacity,
+        staleness=staleness,
+        weight_of=degrees.get,
+    )
+    gpu = machine.gpu
+    clock = 0.0
+    with machine.activate():
+        for _ in range(1500):
+            clock += rng.random() * 4.0
+            key = rng.randrange(40)
+            op = rng.random()
+            if op < 0.45:
+                age = store.entry_age_ms(key, clock)
+                value = store.probe(key, clock)
+                if value is not None:
+                    assert age is not None and 0.0 <= age < staleness
+            elif op < 0.85:
+                store.put(key, key, event_ms=clock, nbytes=rng.randrange(1, 120))
+            else:
+                store.invalidate([key, rng.randrange(40)])
+            assert 0 <= store.bytes_current <= capacity
+            assert gpu.memory.usage_by_tag().get("cache:embedding", 0) <= capacity
+            assert (
+                gpu.memory.usage_by_tag().get("cache:embedding", 0)
+                == store.bytes_current
+            )
+        store.flush_charges()
+    stats = store.stats
+    assert stats.hits + stats.misses == stats.lookups
+    assert stats.hits > 0 and stats.evictions > 0  # the stream exercised both

@@ -157,10 +157,7 @@ def test_cli_serve_rejects_overlap_with_scaleout_placement(capsys):
 
 
 def test_cli_serve_rejects_gpus_flag_on_single_placement(capsys):
-    code = main(
-        ["serve", "tgat", "--scale", "tiny", "--topology", "4xA100-pcie",
-         "--gpus", "4"]
-    )
+    code = main(["serve", "tgat", "--scale", "tiny", "--topology", "4xA100-pcie", "--gpus", "4"])
     assert code == 2
     assert "--gpus only applies" in capsys.readouterr().err
 

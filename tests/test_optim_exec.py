@@ -25,7 +25,7 @@ def tgat_setup(scale="tiny", config=TGAT_CONFIG, batches=4):
         model = TGAT(machine, dataset, config)
         batch_list = list(model.iteration_batches())[:batches]
         model.warm_up(batch_list[0])
-    return machine, model, batch_list
+    return (machine, model, batch_list)
 
 
 class TestOverlappedRunner:
@@ -101,7 +101,7 @@ class TestPipelinedEvolveGCN:
     @staticmethod
     def window(scale="tiny", count=3):
         dataset = load("bitcoin-alpha", scale=scale)
-        return dataset, [dataset.snapshots[i] for i in range(count)]
+        return (dataset, [dataset.snapshots[i] for i in range(count)])
 
     def test_rejects_h_variant(self):
         machine = Machine.cpu_gpu()

@@ -117,9 +117,7 @@ class TestPartitionViews:
 
     def test_partition_rejects_mismatched_shards(self):
         with pytest.raises(ValueError):
-            GraphPartition(
-                num_shards=2, assignment=np.array([0, 1, 5]), method="x", seed=0
-            )
+            GraphPartition(num_shards=2, assignment=np.array([0, 1, 5]), method="x", seed=0)
 
 
 class TestRegistry:

@@ -56,7 +56,7 @@ def reference_union_busy_ms(timelines, start_ms=None, end_ms=None):
     for span_lo, span_hi in spans[1:]:
         if span_lo > current_hi:
             total += current_hi - current_lo
-            current_lo, current_hi = span_lo, span_hi
+            current_lo, current_hi = (span_lo, span_hi)
         else:
             current_hi = max(current_hi, span_hi)
     total += current_hi - current_lo
@@ -110,7 +110,7 @@ def reference_sample(adjacency, rng, uniform, nodes, timestamps, k):
         neighbor_times[row, :count] = times[chosen]
         event_indices[row, :count] = event_ids[chosen]
         mask[row, :count] = 1.0
-    return neighbor_ids, neighbor_times, event_indices, mask, degrees
+    return (neighbor_ids, neighbor_times, event_indices, mask, degrees)
 
 
 # -- randomized programs ----------------------------------------------------
@@ -144,20 +144,12 @@ def drive_random_program(machine, seed, steps=120, batch_api=False):
                 count = int(rng.integers(1, 5))
                 flops = float(rng.integers(1, 50)) * 1e6
                 nbytes = float(rng.integers(1, 100)) * 1e3
-                stream = (
-                    machine.stream(device, "worker")
-                    if rng.integers(0, 3) == 0
-                    else None
-                )
+                stream = machine.stream(device, "worker") if rng.integers(0, 3) == 0 else None
                 if batch_api:
-                    machine.launch_kernels(
-                        device, "k", count, flops, nbytes, stream=stream
-                    )
+                    machine.launch_kernels(device, "k", count, flops, nbytes, stream=stream)
                 else:
                     for _ in range(count):
-                        machine.launch_kernel(
-                            device, "k", flops, nbytes, stream=stream
-                        )
+                        machine.launch_kernel(device, "k", flops, nbytes, stream=stream)
             elif action == 4:
                 machine.host_work("host", float(rng.uniform(0.01, 0.5)))
             elif action <= 6:
@@ -220,12 +212,8 @@ def test_union_busy_matches_reference_merge(seed):
     for _ in range(100):
         lo = float(rng.uniform(-5.0, 200.0))
         hi = lo + float(rng.uniform(0.0, 100.0))
-        assert union_busy_ms(timelines, lo, hi) == reference_union_busy_ms(
-            timelines, lo, hi
-        )
-        assert single.merged_busy_ms(lo, hi) == reference_union_busy_ms(
-            [single], lo, hi
-        )
+        assert union_busy_ms(timelines, lo, hi) == reference_union_busy_ms(timelines, lo, hi)
+        assert single.merged_busy_ms(lo, hi) == reference_union_busy_ms([single], lo, hi)
 
 
 @pytest.mark.parametrize("spec", ["1xA6000", "2xA100-pcie", "2xA100-nvlink"])
@@ -265,9 +253,7 @@ def test_disabling_event_recording_changes_nothing_but_the_log(seed):
     assert silent.host_time_ms == recorded.host_time_ms
     for noisy, quiet in zip(recorded.devices, silent.devices):
         assert noisy.busy_ms() == quiet.busy_ms()
-        assert noisy.default_stream.timeline.intervals == (
-            quiet.default_stream.timeline.intervals
-        )
+        assert noisy.default_stream.timeline.intervals == (quiet.default_stream.timeline.intervals)
 
 
 @pytest.mark.parametrize("seed", [31, 32, 33])

@@ -61,9 +61,7 @@ def random_program(machine, rng, num_ops=60):
             stream = machine.cpu.stream(rng.choice(stream_names))
             machine.host_work("hw", rng.uniform(0, 2.0), stream=stream)
         elif op == "transfer" and machine.has_gpu:
-            src, dst = rng.sample(
-                [machine.cpu] + list(machine.gpus), 2
-            )
+            src, dst = rng.sample([machine.cpu] + list(machine.gpus), 2)
             machine.transfer(
                 src, dst, rng.randrange(0, 1_000_000),
                 non_blocking=rng.random() < 0.5,
@@ -83,9 +81,7 @@ def random_program(machine, rng, num_ops=60):
             machine.stream_synchronize(device.stream(rng.choice(stream_names)))
         elif op == "alloc":
             device = rng.choice(devices)
-            live_allocs.append(
-                (device, machine.alloc(device, rng.randrange(0, 10_000_000)))
-            )
+            live_allocs.append((device, machine.alloc(device, rng.randrange(0, 10_000_000))))
         elif op == "free" and live_allocs:
             device, alloc_id = live_allocs.pop(rng.randrange(len(live_allocs)))
             machine.free(device, alloc_id)

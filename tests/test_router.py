@@ -56,7 +56,7 @@ class TestJoinShortestQueue:
 
     def test_round_robin_can_skew_where_jsq_cannot(self):
         """A replica that never completes starves under RR but not JSQ."""
-        rr, jsq = RoundRobinRouter(2), JoinShortestQueueRouter(2)
+        rr, jsq = (RoundRobinRouter(2), JoinShortestQueueRouter(2))
         for router in (rr, jsq):
             for _ in range(10):
                 index = router.route(1, 0.0)

@@ -126,9 +126,7 @@ class TestReplicatedServing:
         router = make_router("least-latency", 1)
         observed = []
         original = router.notify_complete
-        router.notify_complete = lambda i, n, ms: (
-            observed.append(ms), original(i, n, ms)
-        )
+        router.notify_complete = lambda i, n, ms: (observed.append(ms), original(i, n, ms))
         server = ScaleOutServer(replicas, policy, router)
         machine = server.machine
 
@@ -169,7 +167,7 @@ class TestShardedServing:
         )
         policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
         server = InferenceServer(sharded, policy)
-        return sharded, server.serve(requests, label=f"shard-{spec}")
+        return (sharded, server.serve(requests, label=f"shard-{spec}"))
 
     def test_sharded_serving_completes_and_reports_shard_placement(self):
         dataset = make_dataset()
@@ -238,7 +236,7 @@ class TestScalingExperiment:
             duration_ms=250.0,
         )
         rows = {row["spec"]: row for row in result.rows}
-        one, two = rows["1xA100"], rows["2xA100-pcie"]
+        one, two = (rows["1xA100"], rows["2xA100-pcie"])
         assert two["throughput_rps"] > one["throughput_rps"]
         assert two["p99_ms"] < one["p99_ms"]
         assert two["throughput_vs_1gpu"] > 1.0

@@ -14,9 +14,7 @@ from repro.serve import (
 
 
 def _request(request_id, arrival_ms, slo_ms=None):
-    return Request(
-        request_id=request_id, arrival_ms=arrival_ms, payload=None, slo_ms=slo_ms
-    )
+    return Request(request_id=request_id, arrival_ms=arrival_ms, payload=None, slo_ms=slo_ms)
 
 
 # -- empty queue ----------------------------------------------------------------

@@ -37,9 +37,7 @@ def _serve(dataset, rate, overlap, policy_name="timeout", **request_kwargs):
     model = _tgat(dataset)
     policy = make_policy(policy_name, max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
     server = InferenceServer(model, policy, overlap=overlap)
-    return server.serve(
-        _requests(dataset, rate, **request_kwargs), arrival_name="poisson"
-    )
+    return server.serve(_requests(dataset, rate, **request_kwargs), arrival_name="poisson")
 
 
 def test_server_completes_every_request_with_consistent_latencies(tiny_wikipedia):
@@ -106,9 +104,7 @@ def test_empty_workload_returns_an_empty_report(tiny_wikipedia):
 
 def test_slo_violations_are_counted(tiny_wikipedia):
     # A 1 ms SLO is unmeetable (service alone exceeds it): every request counts.
-    report = _serve(
-        tiny_wikipedia, rate=300.0, overlap=False, slo_ms=1.0, duration_ms=80.0
-    )
+    report = _serve(tiny_wikipedia, rate=300.0, overlap=False, slo_ms=1.0, duration_ms=80.0)
     assert report.completed > 0
     assert report.slo_violation_rate == 1.0
 
@@ -117,6 +113,4 @@ def test_server_runs_are_reproducible(tiny_wikipedia):
     first = _serve(tiny_wikipedia, rate=500.0, overlap=False, duration_ms=120.0)
     second = _serve(tiny_wikipedia, rate=500.0, overlap=False, duration_ms=120.0)
     assert first.summary() == second.summary()
-    assert [r.completed_ms for r in first.requests] == [
-        r.completed_ms for r in second.requests
-    ]
+    assert [r.completed_ms for r in first.requests] == [r.completed_ms for r in second.requests]

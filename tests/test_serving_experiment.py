@@ -54,9 +54,7 @@ def test_overlap_p99_strictly_below_blocking_at_every_rate(serving_result):
 def test_serving_runs_are_byte_identical_for_the_same_seed():
     first = run_serving(seed=7, **FAST)
     second = run_serving(seed=7, **FAST)
-    assert json.dumps(first.rows, sort_keys=True) == json.dumps(
-        second.rows, sort_keys=True
-    )
+    assert json.dumps(first.rows, sort_keys=True) == json.dumps(second.rows, sort_keys=True)
 
 
 def test_different_seeds_draw_different_workloads():

@@ -136,9 +136,7 @@ class TestSeedEquivalence:
                     machine.transfer(machine.cpu, machine.gpu, int(amount), name=name)
                 elif kind == "sync":
                     machine.synchronize()
-        return [
-            (e.kind, e.name, e.start_ms, e.end_ms) for e in machine.events
-        ]
+        return [(e.kind, e.name, e.start_ms, e.end_ms) for e in machine.events]
 
     def test_explicit_default_stream_is_identical(self):
         implicit = Machine.cpu_gpu()
@@ -161,9 +159,7 @@ class TestSeedEquivalence:
         launch_ms = gpu.host_overhead_us * 1e-3
         assert machine.host_time_ms == pytest.approx(t0 + 2.0 + launch_ms)
         body_ms = 1e9 / (gpu.effective_gflops(1e9) * 1e6)
-        assert kernel.duration_ms == pytest.approx(
-            gpu.launch_overhead_us * 1e-3 + body_ms
-        )
+        assert kernel.duration_ms == pytest.approx(gpu.launch_overhead_us * 1e-3 + body_ms)
         # Queued behind the host cursor on the (empty) default GPU queue.
         assert kernel.start_ms == pytest.approx(machine.host_time_ms)
 

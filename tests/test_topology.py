@@ -11,10 +11,7 @@ def exercise(machine):
     machine.launch_kernel(machine.gpu, "k", 1e6, 1e4)
     machine.transfer(machine.gpu, machine.cpu, 5_000)
     machine.synchronize()
-    return [
-        (e.kind, e.name, e.resource, e.start_ms, e.end_ms, e.stream)
-        for e in machine.events
-    ]
+    return [(e.kind, e.name, e.resource, e.start_ms, e.end_ms, e.stream) for e in machine.events]
 
 
 class TestSingleGpuEquivalence:
@@ -130,9 +127,7 @@ class TestTransferRouting:
         backlog_end = machine.gpus[0].default_stream.free_at
         issued_at = machine.host_time_ms
         assert issued_at < backlog_end  # async launch left the host ahead
-        resident = machine.transfer(
-            machine.gpus[0], machine.gpus[1], 1000, wait_for_source=False
-        )
+        resident = machine.transfer(machine.gpus[0], machine.gpus[1], 1000, wait_for_source=False)
         assert resident.start_ms < backlog_end
         assert resident.start_ms >= issued_at
         waiting = machine.transfer(machine.gpus[0], machine.gpus[1], 1000)
@@ -150,9 +145,7 @@ class TestTransferRouting:
         machine = Machine.from_spec("2xA100-pcie")
         for gpu in machine.gpus:
             machine.initialize_gpu(device=gpu)
-        event = machine.transfer(
-            machine.cpu, machine.gpus[1], 1000, non_blocking=True
-        )
+        event = machine.transfer(machine.cpu, machine.gpus[1], 1000, non_blocking=True)
         assert event.resource == "pcie-gen4-x16:1"
         assert event.stream == "copy"
 
