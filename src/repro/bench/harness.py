@@ -36,6 +36,9 @@ class ScenarioResult:
     reps: int
     seed: int
     quick: bool
+    #: Simulated metrics must be identical across reps; keys prefixed
+    #: ``wall_`` are wall-clock measurements the scenario took itself
+    #: (e.g. an interleaved A/B speedup) and are aggregated by median.
     extras: Dict[str, float] = field(default_factory=dict)
 
 
@@ -72,6 +75,7 @@ def run_scenario(
     sim_ms: Optional[float] = None
     events: Optional[int] = None
     extras: Optional[Dict[str, float]] = None
+    wall_extras: Dict[str, List[float]] = {}
     for _ in range(reps):
         start = time.perf_counter()
         outcome = scenario.fn(seed, quick)
@@ -83,9 +87,16 @@ def run_scenario(
         wall_times.append(elapsed_ms)
         rep_sim = machine.host_time_ms
         rep_events = machine.event_count
+        # ``wall_``-prefixed extras are the scenario's own wall-clock
+        # measurements (interleaved A/B timings): exempt from the
+        # determinism check, aggregated by median like ``wall_ms`` itself.
+        rep_extras = dict(rep_extras)
+        for key in list(rep_extras):
+            if key.startswith("wall_"):
+                wall_extras.setdefault(key, []).append(float(rep_extras.pop(key)))
         if sim_ms is None:
-            sim_ms, events, extras = (rep_sim, rep_events, dict(rep_extras))
-        elif rep_sim != sim_ms or rep_events != events or dict(rep_extras) != extras:
+            sim_ms, events, extras = (rep_sim, rep_events, rep_extras)
+        elif rep_sim != sim_ms or rep_events != events or rep_extras != extras:
             raise RuntimeError(
                 f"scenario {scenario.name!r} is not deterministic across "
                 f"repetitions: sim {sim_ms} vs {rep_sim} ms, "
@@ -95,6 +106,9 @@ def run_scenario(
             )
         throughputs.append(rep_events / (elapsed_ms * 1e-3) if elapsed_ms > 0 else 0.0)
     assert sim_ms is not None and events is not None
+    merged_extras = dict(extras or {})
+    for key, values in wall_extras.items():
+        merged_extras[key] = round(statistics.median(values), 3)
     return ScenarioResult(
         name=scenario.name,
         description=scenario.description,
@@ -106,7 +120,7 @@ def run_scenario(
         reps=reps,
         seed=seed,
         quick=quick,
-        extras=extras or {},
+        extras=merged_extras,
     )
 
 

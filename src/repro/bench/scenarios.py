@@ -16,10 +16,13 @@ experiment suite.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..cache import make_model_cache
+from ..cache.policy import make_eviction_policy
+from ..cache.store import DeviceResidentCache
 from ..datasets import load as load_dataset
 from ..hw.machine import Machine
 from ..models.tgat import TGAT, TGATConfig
@@ -79,7 +82,8 @@ def _training_iteration(seed: int, quick: bool) -> Machine:
     return machine
 
 
-def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False):
+def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False,
+             backend: str = "numeric"):
     """Online serving under Poisson load (the ``serving`` experiment's core).
 
     The ``cached`` variants run the *identical* workload and policy -- one
@@ -90,9 +94,13 @@ def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False):
     hit rate / peak occupancy (cached variants): at a warm nonzero staleness
     bound the cached overlap scenario beats its uncached counterpart on p99
     and on simulated-events-per-wall-second throughput.
+
+    ``backend`` selects the execution backend; the ``shape`` variant runs
+    the identical workload value-free and must report the identical
+    simulated extras (p99), only faster per wall-second.
     """
     dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
-    machine = Machine.cpu_gpu()
+    machine = Machine.cpu_gpu(backend=backend)
     model = _tgat(machine, dataset, seed)
     if cached:
         span_start, span_end = dataset.stream.time_span
@@ -152,7 +160,8 @@ def _scaling(seed: int, quick: bool, spec: str, num_gpus: int) -> Machine:
     return machine
 
 
-def _scheduler_throughput(seed: int, quick: bool, record_events: bool) -> Machine:
+def _scheduler_throughput(seed: int, quick: bool, record_events: bool,
+                          backend: str = "numeric") -> Machine:
     """Pure scheduling-engine throughput: no numerics, no model, no RNG.
 
     Drives the machine directly with the batched :meth:`Machine.launch_kernels`
@@ -162,9 +171,14 @@ def _scheduler_throughput(seed: int, quick: bool, record_events: bool) -> Machin
     dominate the model-level scenarios.  The ``record_events=False`` variant
     measures the same schedule with profiling's event stream disabled
     (scheduling and timelines are byte-identical either way; only the event
-    log is skipped).
+    log is skipped).  The ``backend="shape"`` variant pins down that backend
+    selection never perturbs the scheduling engine itself: this scenario
+    drives the charging APIs directly, so its timeline must be identical
+    under either backend.
     """
-    machine = Machine.from_spec("2xA100-pcie", record_events=record_events)
+    machine = Machine.from_spec(
+        "2xA100-pcie", record_events=record_events, backend=backend
+    )
     # Quick mode still runs enough rounds (~10 ms wall) that the CI gate's
     # 25% threshold sits well above timer/runner jitter.
     rounds = 400 if quick else 1500
@@ -184,6 +198,144 @@ def _scheduler_throughput(seed: int, quick: bool, record_events: bool) -> Machin
                 machine.synchronize()
         machine.synchronize(name="final")
     return machine
+
+
+def _speedup_serving_run(seed: int, quick: bool, backend: str):
+    """One production-sized serving run for the backend A/B (see below)."""
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu(backend=backend)
+    model = _tgat(machine, dataset, seed, num_neighbors=20, batch_size=64)
+    arrivals = make_arrival_process("poisson", 1500.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=1,
+        slo_ms=100.0,
+    )
+    policy = make_policy("timeout", max_batch_size=64, batch_timeout_ms=4.0, slo_ms=100.0)
+    server = InferenceServer(model, policy, overlap=True)
+    report = server.serve(
+        requests, label=f"bench-shape-speedup-{backend}", arrival_name="poisson"
+    )
+    return machine, report
+
+
+def _shape_speedup(seed: int, quick: bool):
+    """Interleaved numeric-vs-shape A/B on a production-sized serving run.
+
+    Runs the identical overlapped serving workload once per backend (the
+    harness's repetitions interleave the pairs), times each run, and checks
+    timeline equivalence before reporting: identical event counts, simulated
+    clocks and p99.  Unlike the default serving scenarios -- whose small
+    batches are scheduler-bound -- this one uses saturating arrivals and
+    production batch sizes (k=20, max batch 64), where GEMM/attention
+    numerics dominate wall-clock and the shape backend's value-free
+    execution pays off.  The ``wall_*`` extras carry the A/B result.
+    """
+    start = time.perf_counter()
+    numeric_machine, numeric_report = _speedup_serving_run(seed, quick, "numeric")
+    numeric_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    shape_machine, shape_report = _speedup_serving_run(seed, quick, "shape")
+    shape_ms = (time.perf_counter() - start) * 1e3
+    numeric_p99 = numeric_report.total_latency().p99_ms if numeric_report.completed else 0.0
+    shape_p99 = shape_report.total_latency().p99_ms if shape_report.completed else 0.0
+    if (
+        numeric_machine.event_count != shape_machine.event_count
+        or numeric_machine.host_time_ms != shape_machine.host_time_ms
+        or numeric_p99 != shape_p99
+    ):
+        raise RuntimeError(
+            "shape backend diverged from numeric on the speedup workload: "
+            f"events {numeric_machine.event_count} vs {shape_machine.event_count}, "
+            f"sim {numeric_machine.host_time_ms} vs {shape_machine.host_time_ms} ms, "
+            f"p99 {numeric_p99} vs {shape_p99} ms"
+        )
+    extras = {
+        "p99_ms": round(shape_p99, 3),
+        "wall_numeric_ms": round(numeric_ms, 3),
+        "wall_shape_ms": round(shape_ms, 3),
+        "wall_speedup": round(numeric_ms / shape_ms, 3) if shape_ms > 0 else 0.0,
+    }
+    return (shape_machine, extras)
+
+
+def _cache_admin(seed: int, quick: bool):
+    """Batched vs per-key cache admin on tiny memory rows (micro A/B).
+
+    Fills two identical presence-style stores -- 16-byte rows, where the
+    per-key Python overhead dwarfs the payload -- then runs a probe-heavy
+    mix (the ``lookup_memory`` pattern: every batch probes, only misses
+    insert), once through the per-key ``probe``/``put`` calls and once
+    through ``probe_many``/``put_many``.  The two paths are
+    charge-identical (same stats, same deferred ledger, checked below), so
+    the only difference the ``wall_*`` extras can show is the admin
+    overhead the batched API removes.  Probe and insert phases are timed
+    separately: inserts pay a per-entry simulated allocation either way, so
+    the batched win concentrates in the probe phase.
+    """
+    machine = Machine.cpu_gpu()
+    n = 2048 if quick else 8192
+    rounds = 2 if quick else 4
+    keys = list(range(n))
+    times = [float(index % 97) for index in range(n)]
+    row_nbytes = 16
+
+    def build() -> DeviceResidentCache:
+        return DeviceResidentCache(
+            machine,
+            machine.gpus[0],
+            "memory",
+            make_eviction_policy("lru"),
+            64 << 20,
+            1e9,
+        )
+
+    probe_rounds = rounds * 4
+    loop_put_ms = loop_probe_ms = batch_put_ms = batch_probe_ms = 0.0
+    with machine.activate():
+        loop_store = build()
+        batch_store = build()
+        # Interleave the two paths round by round so allocator/event-log
+        # growth over the run penalises both equally.
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for key, event_ms in zip(keys, times):
+                loop_store.put(key, True, event_ms, row_nbytes)
+            loop_store.flush_charges("update")
+            loop_put_ms += (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            batch_store.put_many(keys, True, times, row_nbytes)
+            batch_store.flush_charges("update")
+            batch_put_ms += (time.perf_counter() - start) * 1e3
+        for _ in range(probe_rounds):
+            start = time.perf_counter()
+            for key, event_ms in zip(keys, times):
+                loop_store.probe(key, event_ms)
+            loop_store.flush_charges("lookup")
+            loop_probe_ms += (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            batch_store.probe_many(keys, times)
+            batch_store.flush_charges("lookup")
+            batch_probe_ms += (time.perf_counter() - start) * 1e3
+    if loop_store.stats.as_dict() != batch_store.stats.as_dict():
+        raise RuntimeError(
+            "batched cache admin diverged from the per-key path: "
+            f"{loop_store.stats.as_dict()} vs {batch_store.stats.as_dict()}"
+        )
+    extras = {
+        "keys": float(n),
+        "row_nbytes": float(row_nbytes),
+        "wall_put_perkey_ms": round(loop_put_ms, 3),
+        "wall_put_batched_ms": round(batch_put_ms, 3),
+        "wall_probe_perkey_ms": round(loop_probe_ms, 3),
+        "wall_probe_batched_ms": round(batch_probe_ms, 3),
+        "wall_probe_speedup": (
+            round(loop_probe_ms / batch_probe_ms, 3) if batch_probe_ms > 0 else 0.0
+        ),
+    }
+    return (machine, extras)
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -230,6 +382,16 @@ SCENARIOS: Dict[str, Scenario] = {
             lambda seed, quick: _scaling(seed, quick, "4xA100-pcie", 4),
         ),
         Scenario(
+            "serving_overlap_shape",
+            "online overlapped serving on the shape (value-free) backend",
+            lambda seed, quick: _serving(seed, quick, overlap=True, backend="shape"),
+        ),
+        Scenario(
+            "serving_shape_speedup",
+            "interleaved numeric-vs-shape A/B, production-sized batches",
+            _shape_speedup,
+        ),
+        Scenario(
             "scheduler_throughput",
             "raw scheduling engine: batched kernels + transfers, events on",
             lambda seed, quick: _scheduler_throughput(seed, quick, True),
@@ -238,6 +400,16 @@ SCENARIOS: Dict[str, Scenario] = {
             "scheduler_throughput_noprofile",
             "raw scheduling engine with event recording disabled",
             lambda seed, quick: _scheduler_throughput(seed, quick, False),
+        ),
+        Scenario(
+            "scheduler_throughput_shape",
+            "raw scheduling engine under the shape backend (identical timeline)",
+            lambda seed, quick: _scheduler_throughput(seed, quick, True, backend="shape"),
+        ),
+        Scenario(
+            "cache_admin_tiny_rows",
+            "batched vs per-key cache admin on 16-byte presence rows",
+            _cache_admin,
         ),
     )
 }

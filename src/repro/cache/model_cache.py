@@ -310,16 +310,10 @@ class ModelCache:
         n = len(nodes)
         if store is None:
             return (np.empty(0, dtype=np.int64), np.arange(n, dtype=np.int64))
-        hit_positions: List[int] = []
-        miss_positions: List[int] = []
-        node_list = nodes.tolist()
-        time_list = times.tolist()
-        for index in range(n):
-            if store.probe(node_list[index], time_list[index]) is None:
-                miss_positions.append(index)
-            else:
-                hit_positions.append(index)
+        results = store.probe_many(nodes.tolist(), times.tolist())
         store.flush_charges("lookup")
+        hit_positions = [index for index in range(n) if results[index] is not None]
+        miss_positions = [index for index in range(n) if results[index] is None]
         return (
             np.asarray(hit_positions, dtype=np.int64),
             np.asarray(miss_positions, dtype=np.int64),
@@ -334,8 +328,7 @@ class ModelCache:
             return
         node_list = np.asarray(nodes).tolist()
         time_list = np.asarray(times, dtype=np.float64).tolist()
-        for index in range(len(node_list)):
-            store.put(node_list[index], True, time_list[index], int(row_nbytes))
+        store.put_many(node_list, True, time_list, int(row_nbytes))
         store.flush_charges("update")
 
     # -- invalidation ------------------------------------------------------

@@ -11,10 +11,12 @@ same profiles and memory reports as the model's own work.
 
 Staleness semantics (event-time): an entry written at event time ``t_e`` may
 serve a query at event time ``t_q`` iff ``0 <= t_q - t_e < staleness_ms``.
-The bound is *strict*, so a staleness bound of 0 admits no hit at all: the
-cache degenerates to a write-through store and cached execution is
-byte-identical to uncached execution (the equivalence the golden-suite tests
-pin down).  Entries probed past their bound are expired on touch (freed and
+The bound is *strict*, so a staleness bound of 0 admits no hit at all; since
+an entry inserted under a zero bound can never be served, :meth:`put`
+*bypasses* the insert outright (no copy kernel, no occupancy) and cached
+execution degenerates to uncached execution plus probe admin -- still
+byte-identical in results (the equivalence the golden-suite tests pin
+down).  Entries probed past their bound are expired on touch (freed and
 counted as ``stale_evictions``), so a cache under a tight bound does not
 accumulate dead rows.
 """
@@ -22,7 +24,7 @@ accumulate dead rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .._compat import DATACLASS_SLOTS
 from ..hw.device import Device
@@ -221,6 +223,55 @@ class DeviceResidentCache:
             self.stats.stale_evictions += 1
         return None
 
+    def probe_many(self, keys: Sequence[Any], times_ms: Sequence[float]) -> List[Any]:
+        """Look up many keys, each at its own query event-time.
+
+        Semantically identical to calling :meth:`probe` once per key, in
+        order -- same stats, same deferred charges, same policy touches,
+        same expire-on-touch behaviour -- but with the per-key Python
+        overhead (attribute lookups, counter increments) hoisted out of the
+        loop.  The memory-row admission path probes thousands of tiny keys
+        per batch, where that overhead dwarfs the table work itself.
+        Returns one value-or-``None`` per key.
+        """
+        n = len(keys)
+        stats = self.stats
+        stats.lookups += n
+        ledger = self._ledger
+        ledger.probed_keys += n
+        ledger.pending = n > 0 or ledger.pending
+        entries = self._entries
+        staleness = self.staleness_ms
+        on_access = self.policy.on_access
+        hits = 0
+        misses = 0
+        hit_bytes = 0
+        results: List[Any] = []
+        append = results.append
+        for key, now in zip(keys, times_ms):
+            entry = entries.get(key)
+            if entry is None:
+                misses += 1
+                append(None)
+                continue
+            age = now - entry.event_ms
+            if 0.0 <= age < staleness:
+                hits += 1
+                hit_bytes += entry.nbytes
+                on_access(key)
+                append(entry.value)
+                continue
+            misses += 1
+            stats.stale_rejects += 1
+            if age >= staleness:
+                self._remove(key, entry)
+                stats.stale_evictions += 1
+            append(None)
+        stats.hits += hits
+        stats.misses += misses
+        ledger.hit_bytes += hit_bytes
+        return results
+
     # -- mutation ----------------------------------------------------------
 
     def put(self, key: Any, value: Any, event_ms: float, nbytes: int) -> bool:
@@ -229,7 +280,13 @@ class DeviceResidentCache:
         Evicts policy victims until the entry fits the byte budget.  Entries
         larger than the whole budget are rejected.  Charging is deferred to
         :meth:`flush_charges`.
+
+        Write bypass: under a zero staleness bound no entry can ever be
+        served (the hit window ``[0, 0)`` is empty), so the insert is
+        skipped entirely -- no copy kernel, no allocation, no occupancy.
         """
+        if self.staleness_ms <= 0.0:
+            return False
         nbytes = int(nbytes)
         if nbytes > self.capacity_bytes:
             return False
@@ -252,6 +309,62 @@ class DeviceResidentCache:
         self._ledger.inserted_bytes += nbytes
         self._ledger.pending = True
         return True
+
+    def put_many(
+        self,
+        keys: Sequence[Any],
+        value: Any,
+        times_ms: Sequence[float],
+        nbytes: int,
+    ) -> int:
+        """Insert many same-sized entries sharing one value payload.
+
+        Semantically identical to calling :meth:`put` once per
+        ``(key, event_ms)`` pair in order -- same eviction decisions, same
+        allocations, same stats and deferred charges -- with the
+        loop-invariant checks (write bypass, oversize rejection) and
+        attribute lookups hoisted out.  Built for presence-style rows (TGN
+        memory registration inserts ``True`` for every touched node);
+        returns the number of admitted entries.
+        """
+        if self.staleness_ms <= 0.0:
+            return 0
+        nbytes = int(nbytes)
+        if nbytes > self.capacity_bytes:
+            return 0
+        stats = self.stats
+        entries = self._entries
+        policy = self.policy
+        machine = self.machine
+        device = self.device
+        weight_of = self.weight_of
+        capacity = self.capacity_bytes
+        tag = self.tag
+        admitted = 0
+        for key, event_ms in zip(keys, times_ms):
+            previous = entries.get(key)
+            if previous is not None:
+                self._remove(key, previous)
+            while stats.bytes_current + nbytes > capacity:
+                victim = policy.victim()
+                self._remove(victim, entries[victim])
+                stats.evictions += 1
+            alloc_id = machine.alloc(device, nbytes, tag=tag)
+            entries[key] = _Entry(value, float(event_ms), nbytes, alloc_id)
+            weight = weight_of(key) if weight_of is not None else None
+            policy.on_insert(key, float(weight) if weight is not None else 0.0)
+            stats.bytes_current += nbytes
+            if stats.bytes_current > stats.bytes_peak:
+                stats.bytes_peak = stats.bytes_current
+            admitted += 1
+        if admitted:
+            stats.inserts += admitted
+            stats.entries = len(entries)
+            ledger = self._ledger
+            ledger.inserted_keys += admitted
+            ledger.inserted_bytes += admitted * nbytes
+            ledger.pending = True
+        return admitted
 
     def invalidate(self, keys: Iterable[Any]) -> int:
         """Drop every present entry among ``keys``; returns the drop count.

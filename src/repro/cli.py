@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--device", default="gpu", choices=("cpu", "gpu"))
     prof.add_argument("--iterations", type=int, default=1,
                       help="number of inference iterations to profile")
+    prof.add_argument("--backend", default="numeric", choices=("numeric", "shape"),
+                      help="execution backend: 'numeric' computes real values, "
+                           "'shape' propagates only shapes/dtypes while charging "
+                           "the identical simulated timeline (much faster)")
     prof.add_argument(
         "--overlap", action=argparse.BooleanOptionalAction, default=False,
         help="execute iterations with the stream-based sampling/compute "
@@ -178,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the arrival process (runs are reproducible)")
     srv.add_argument("--topology", default="1xA6000", choices=available_machine_specs(),
                      help="machine topology preset to serve on")
+    srv.add_argument("--backend", default="numeric", choices=("numeric", "shape"),
+                     help="execution backend: 'numeric' computes real values, "
+                          "'shape' propagates only shapes/dtypes while charging "
+                          "the identical simulated timeline (much faster)")
     srv.add_argument("--gpus", type=int, default=None,
                      help="number of the topology's GPUs to use "
                           "(default: all of them)")
@@ -294,7 +302,11 @@ def _print_profile_summary(profile, title: str) -> None:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
-    machine = Machine.cpu_gpu() if args.device == "gpu" else Machine.cpu_only()
+    machine = (
+        Machine.cpu_gpu(backend=args.backend)
+        if args.device == "gpu"
+        else Machine.cpu_only(backend=args.backend)
+    )
     with machine.activate():
         dataset = load(args.dataset, scale=args.scale) if args.dataset else None
         model = build_model(args.model, machine, dataset=dataset, scale=args.scale, **overrides)
@@ -346,7 +358,7 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
-    machine = Machine.from_spec(args.topology)
+    machine = Machine.from_spec(args.topology, backend=args.backend)
     gpus = list(machine.gpus)
     if args.gpus is not None:
         if args.gpus < 1 or args.gpus > len(gpus):

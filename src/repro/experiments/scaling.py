@@ -51,10 +51,16 @@ DEFAULT_CONFIGS = (
 
 
 def _build_model_set(
-    spec: str, num_gpus: int, dataset, seed: int, num_neighbors: int, batch_size: int
+    spec: str,
+    num_gpus: int,
+    dataset,
+    seed: int,
+    num_neighbors: int,
+    batch_size: int,
+    backend: str = "numeric",
 ) -> List[TGAT]:
     """Fresh machine + one TGAT replica per GPU (runs must not share clocks)."""
-    machine = Machine.from_spec(spec)
+    machine = Machine.from_spec(spec, backend=backend)
     config = TGATConfig(num_neighbors=num_neighbors, batch_size=batch_size, seed=seed)
     with machine.activate():
         return build_replicas(
@@ -65,7 +71,12 @@ def _build_model_set(
 
 
 def _calibrate_per_request_ms(
-    dataset, seed: int, num_neighbors: int, max_batch_size: int, events_per_request: int
+    dataset,
+    seed: int,
+    num_neighbors: int,
+    max_batch_size: int,
+    events_per_request: int,
+    backend: str = "numeric",
 ) -> float:
     """Measured blocking service cost of one request on one A100 replica.
 
@@ -75,7 +86,9 @@ def _calibrate_per_request_ms(
     the sweep lands in the same queueing regime at every dataset scale.
     """
     events = max_batch_size * events_per_request
-    (model,) = _build_model_set("1xA100", 1, dataset, seed, num_neighbors, events)
+    (model,) = _build_model_set(
+        "1xA100", 1, dataset, seed, num_neighbors, events, backend=backend
+    )
     machine = model.machine
     batches = [dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)]
     with machine.activate():
@@ -102,11 +115,16 @@ def run(
     slo_ms: float = 50.0,
     events_per_request: int = 4,
     num_neighbors: int = 10,
+    backend: str = "numeric",
 ) -> ExperimentResult:
-    """Sweep placements x topologies x arrival rates over one dataset."""
+    """Sweep placements x topologies x arrival rates over one dataset.
+
+    ``backend`` selects the execution backend for every run (calibration
+    included); the ``shape`` backend reproduces the identical rows, faster.
+    """
     dataset = load_dataset("wikipedia", scale=scale)
     per_request_ms = _calibrate_per_request_ms(
-        dataset, seed, num_neighbors, max_batch_size, events_per_request
+        dataset, seed, num_neighbors, max_batch_size, events_per_request, backend=backend
     )
     capacity_rps = 1000.0 / per_request_ms if per_request_ms > 0 else 1000.0
     result = ExperimentResult(
@@ -147,6 +165,7 @@ def run(
                 seed,
                 num_neighbors,
                 max_batch_size * events_per_request,
+                backend=backend,
             )
             scheduler = make_policy(
                 policy,

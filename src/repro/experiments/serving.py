@@ -33,9 +33,11 @@ from .runner import ExperimentResult, new_machine
 MODES = ("blocking", "overlap")
 
 
-def _build_model(dataset, seed: int, num_neighbors: int, batch_size: int) -> TGAT:
+def _build_model(
+    dataset, seed: int, num_neighbors: int, batch_size: int, backend: str = "numeric"
+) -> TGAT:
     """A fresh TGAT on a fresh machine (runs must not share timelines)."""
-    machine = new_machine(use_gpu=True)
+    machine = new_machine(use_gpu=True, backend=backend)
     with machine.activate():
         return TGAT(
             machine,
@@ -45,7 +47,12 @@ def _build_model(dataset, seed: int, num_neighbors: int, batch_size: int) -> TGA
 
 
 def _calibrate_per_request_ms(
-    dataset, seed: int, num_neighbors: int, max_batch_size: int, events_per_request: int
+    dataset,
+    seed: int,
+    num_neighbors: int,
+    max_batch_size: int,
+    events_per_request: int,
+    backend: str = "numeric",
 ) -> float:
     """Measured blocking service cost of one request (full-batch amortised).
 
@@ -55,7 +62,7 @@ def _calibrate_per_request_ms(
     of the implied capacity, keeping the sweep's queueing behaviour stable
     across dataset scales.
     """
-    model = _build_model(dataset, seed, num_neighbors, max_batch_size)
+    model = _build_model(dataset, seed, num_neighbors, max_batch_size, backend=backend)
     machine = model.machine
     events = max_batch_size * events_per_request
     batches = [dataset.stream.slice_indices(i * events, (i + 1) * events) for i in range(2)]
@@ -81,11 +88,16 @@ def run(
     events_per_request: int = 1,
     num_neighbors: int = 10,
     modes: Sequence[str] = MODES,
+    backend: str = "numeric",
 ) -> ExperimentResult:
-    """Sweep policies x arrival rates x execution modes over one dataset."""
+    """Sweep policies x arrival rates x execution modes over one dataset.
+
+    ``backend`` selects the execution backend for every run (calibration
+    included); the ``shape`` backend reproduces the identical rows, faster.
+    """
     dataset = load_dataset("wikipedia", scale=scale)
     per_request_ms = _calibrate_per_request_ms(
-        dataset, seed, num_neighbors, max_batch_size, events_per_request
+        dataset, seed, num_neighbors, max_batch_size, events_per_request, backend=backend
     )
     capacity_rps = 1000.0 / per_request_ms if per_request_ms > 0 else 1000.0
     result = ExperimentResult(
@@ -118,7 +130,9 @@ def run(
                     events_per_request=events_per_request,
                     slo_ms=slo_ms,
                 )
-                model = _build_model(dataset, seed, num_neighbors, max_batch_size)
+                model = _build_model(
+                    dataset, seed, num_neighbors, max_batch_size, backend=backend
+                )
                 policy = make_policy(
                     policy_name,
                     max_batch_size=max_batch_size,

@@ -22,7 +22,8 @@ from typing import Optional
 import numpy as np
 
 from .._compat import DATACLASS_SLOTS
-from ..hw.machine import current_machine, has_active_machine
+from ..hw.machine import active_machine_or_none, current_machine, has_active_machine
+from ..tensor.meta import placeholder
 from .events import EventStream
 
 
@@ -175,6 +176,13 @@ class TemporalNeighborSampler:
 
         The call charges its host-side cost to the active machine under the
         op name ``temporal_neighbor_sampling`` so profilers can attribute it.
+
+        Under the machine's ``shape`` backend the sampler still walks every
+        row, consumes the *same* RNG draws, and materialises ``neighbor_ids``
+        and ``mask`` (both feed timeline-relevant logic downstream: deeper
+        sampling layers, cache keys, cross-shard gather accounting) -- only
+        the pure payload arrays ``neighbor_times`` and ``event_indices``
+        become placeholders, skipping their per-row gather writes.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         timestamps = np.asarray(timestamps, dtype=np.float64)
@@ -182,10 +190,16 @@ class TemporalNeighborSampler:
             raise ValueError("nodes and timestamps must have the same shape")
         if k <= 0:
             raise ValueError("k must be positive")
+        machine = active_machine_or_none()
+        shape_only = machine is not None and machine.shape_mode
         batch = len(nodes)
         neighbor_ids = np.zeros((batch, k), dtype=np.int64)
-        neighbor_times = np.zeros((batch, k), dtype=np.float64)
-        event_indices = np.zeros((batch, k), dtype=np.int64)
+        if shape_only:
+            neighbor_times = placeholder((batch, k), np.float64)
+            event_indices = placeholder((batch, k), np.int64)
+        else:
+            neighbor_times = np.zeros((batch, k), dtype=np.float64)
+            event_indices = np.zeros((batch, k), dtype=np.int64)
         mask = np.zeros((batch, k), dtype=np.float32)
         degrees = np.zeros(batch, dtype=np.int64)
         # Tight loop: the RNG must be consulted in row order with the same
@@ -213,8 +227,9 @@ class TemporalNeighborSampler:
                 chosen = slice(cutoff - k if cutoff > k else 0, cutoff)
                 count = cutoff if cutoff < k else k
             neighbor_ids[row, :count] = neighbors[chosen]
-            neighbor_times[row, :count] = times[chosen]
-            event_indices[row, :count] = event_ids[chosen]
+            if not shape_only:
+                neighbor_times[row, :count] = times[chosen]
+                event_indices[row, :count] = event_ids[chosen]
             mask[row, :count] = 1.0
         self._charge(degrees, k)
         return NeighborhoodSample(neighbor_ids, neighbor_times, event_indices, mask)

@@ -89,6 +89,28 @@ past"; idle fast-forwards interleave safely with in-flight asynchronous
 stream work, which keeps draining behind the cursor exactly as during
 blocking execution.
 
+Execution backends decouple the cost model from the numerics that feed it:
+
+* ``backend="numeric"`` (the default) computes real numpy values in every
+  tensor operator *and* charges the corresponding kernels -- the seed's
+  behaviour, byte-identical.
+* ``backend="shape"`` propagates only shapes/dtypes/device placement through
+  operators, samplers and model layers (outputs become zero-strided
+  placeholder arrays, see :mod:`repro.tensor.meta`), while still issuing
+  **every** kernel launch, transfer, cache probe and memory-pool allocation
+  with byte-identical cost arguments.  The simulated timeline -- event
+  sequences, per-stream busy intervals, latency percentiles, cache hit/miss
+  streams -- is identical to the numeric backend's; only the wall-clock cost
+  of producing it drops (no BLAS in the hot path).  Sampler RNG draws are
+  consumed exactly as in numeric mode so fan-out sizes and cache keys match.
+* The backend composes orthogonally with :attr:`record_events`: backends
+  control whether *numerics* run, ``record_events`` controls whether the
+  profiler's event objects are materialised.  All four combinations yield
+  the same host clock, busy totals and event counts.
+* The machine itself never branches on the backend -- charges arrive
+  identically from either; :attr:`shape_mode` simply lets the tensor/model
+  layers pick their data representation once per operator.
+
 The serving caches (:mod:`repro.cache`) are charged through the same
 machinery rather than modelled as free lookups:
 
@@ -175,7 +197,12 @@ class Machine:
         num_gpus: int = 1,
         peer_link_spec: Optional[LinkSpec] = None,
         record_events: bool = True,
+        backend: str = "numeric",
     ) -> None:
+        if backend not in ("numeric", "shape"):
+            raise ValueError(
+                f"unknown execution backend {backend!r}; choose 'numeric' or 'shape'"
+            )
         if gpu_spec is None:
             num_gpus = 0
         elif num_gpus < 1:
@@ -200,6 +227,11 @@ class Machine:
         #: profiling an opt-in cost (the benchmark harness uses this for
         #: pure-simulation-speed runs).
         self.record_events = record_events
+        #: Execution backend: ``"numeric"`` or ``"shape"`` (docstring above).
+        self.backend = backend
+        #: Hot-path boolean the tensor/model layers branch on; the machine's
+        #: own scheduling never consults it.
+        self.shape_mode = backend == "shape"
         self._host_time = 0.0
         #: Count of simulated actions (kernels, transfers, syncs, ...);
         #: maintained even when event recording is off so throughput
@@ -245,6 +277,7 @@ class Machine:
         spec: Union[str, MachineSpec],
         strict_memory: bool = False,
         record_events: bool = True,
+        backend: str = "numeric",
     ) -> "Machine":
         """Build a machine from a :class:`~repro.hw.spec.MachineSpec` preset.
 
@@ -262,6 +295,7 @@ class Machine:
             num_gpus=max(resolved.num_gpus, 1) if resolved.gpu is not None else 0,
             peer_link_spec=resolved.peer_link,
             record_events=record_events,
+            backend=backend,
         )
 
     # -- device selection -----------------------------------------------

@@ -33,7 +33,7 @@ from ..nn import (
     TemporalNeighborAttention,
 )
 from ..nn import init as nn_init
-from ..tensor import Tensor, ops
+from ..tensor import Tensor, meta, ops
 from .base import CONTINUOUS, DGNNModel, ModelCard
 
 
@@ -90,9 +90,14 @@ class TGAT(DGNNModel):
         # construction time (host-side, outside any profiling window), so the
         # per-batch gathers and transfers move node_dim-wide rows -- the same
         # working-set layout the reference implementation keeps on the GPU.
-        self._projected_features = (
-            dataset.node_features @ self.feature_proj.weight.data.T
-        ).astype(np.float32)
+        if machine.shape_mode:
+            self._projected_features = meta.placeholder(
+                (dataset.node_features.shape[0], config.node_dim)
+            )
+        else:
+            self._projected_features = (
+                dataset.node_features @ self.feature_proj.weight.data.T
+            ).astype(np.float32)
         self.time_encoder = BochnerTimeEncoder(config.time_dim, device)
         self.attention_layers = ModuleList(
             [
@@ -334,10 +339,13 @@ class TGAT(DGNNModel):
             embeddings = miss_emb
         else:
             device = self.compute_device
-            merged = np.empty((len(nodes), config.node_dim), dtype=np.float32)
-            merged[plan.hit_indices] = plan.hit_rows
-            if miss_emb is not None:
-                merged[plan.miss_indices] = miss_emb.data
+            if self.machine.shape_mode:
+                merged = meta.placeholder((len(nodes), config.node_dim))
+            else:
+                merged = np.empty((len(nodes), config.node_dim), dtype=np.float32)
+                merged[plan.hit_indices] = plan.hit_rows
+                if miss_emb is not None:
+                    merged[plan.miss_indices] = miss_emb.data
             with self.machine.region("Others"):
                 # The hit rows are gathered from the device-resident cache
                 # pool into the batch's working tensor.
@@ -391,9 +399,16 @@ class TGAT(DGNNModel):
         # are produced on the host and must cross PCIe every layer -- this is
         # the per-batch "Memory Copy" the paper sees growing with the
         # neighbourhood size.
-        neighbor_dt_host = Tensor((times[:, None] - sample.neighbor_times).astype(np.float32), host)
+        if self.machine.shape_mode:
+            dt_shape = (num_targets, config.num_neighbors)
+            neighbor_dt_host = Tensor(meta.placeholder(dt_shape), host)
+            ids_host = Tensor(meta.placeholder(dt_shape), host)
+        else:
+            neighbor_dt_host = Tensor(
+                (times[:, None] - sample.neighbor_times).astype(np.float32), host
+            )
+            ids_host = Tensor(sample.neighbor_ids.astype(np.float32), host)
         mask_host = Tensor(sample.mask, host)
-        ids_host = Tensor(sample.neighbor_ids.astype(np.float32), host)
         neighbor_dt = neighbor_dt_host.to(device, name="neighbor_time_deltas")
         mask = mask_host.to(device, name="neighbor_mask")
         ids_host.to(device, name="neighbor_indices")

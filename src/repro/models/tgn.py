@@ -30,7 +30,7 @@ from ..graph.sampling import TemporalNeighborSampler
 from ..hw.machine import Machine
 from ..nn import MLP, BochnerTimeEncoder, GRUCell, Linear, TemporalNeighborAttention
 from ..nn import init as nn_init
-from ..tensor import Tensor, ops
+from ..tensor import Tensor, meta, ops
 from .base import CONTINUOUS, DGNNModel, ModelCard
 
 
@@ -244,9 +244,15 @@ class TGN(DGNNModel):
                 neighbor_mem, (len(nodes), self.config.num_neighbors, self.config.memory_dim)
             )
             query_times = np.concatenate([timestamps, timestamps])
-            neighbor_dt = Tensor(
-                (query_times[:, None] - sample.neighbor_times).astype(np.float32), device
-            )
+            if self.machine.shape_mode:
+                neighbor_dt = Tensor(
+                    meta.placeholder((len(nodes), self.config.num_neighbors)), device
+                )
+            else:
+                neighbor_dt = Tensor(
+                    (query_times[:, None] - sample.neighbor_times).astype(np.float32),
+                    device,
+                )
             mask = ops.reshape(
                 Tensor(sample.mask, device), (len(nodes), 1, 1, self.config.num_neighbors)
             )

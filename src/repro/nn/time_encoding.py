@@ -18,7 +18,9 @@ from typing import Optional
 import numpy as np
 
 from ..hw.device import Device
+from ..hw.machine import active_machine_or_none
 from ..tensor import ops
+from ..tensor.meta import placeholder
 from ..tensor.tensor import Tensor
 from . import init
 from .module import Module
@@ -84,7 +86,12 @@ class Time2Vec(Module):
         bias = Tensor(self.bias.data, timestamps.device)
         projected = ops.add(ops.mul(expanded, weight), bias)
         periodic = ops.sin(projected)
-        # First component stays linear, the rest are periodic.
+        # First component stays linear, the rest are periodic.  (This splice
+        # is free in the cost model, so the shape branch only avoids
+        # materialising the placeholder operands.)
+        machine = active_machine_or_none()
+        if machine is not None and machine.shape_mode:
+            return Tensor(placeholder(projected.data.shape), timestamps.device)
         combined = np.concatenate([projected.data[..., :1], periodic.data[..., 1:]], axis=-1)
         return Tensor(combined, timestamps.device)
 

@@ -5,7 +5,7 @@ carry a device, operators compute real values and charge simulated hardware
 costs, and cross-device copies occupy the simulated PCIe link.
 """
 
-from . import costs, ops
+from . import costs, meta, ops
 from .tensor import DeviceMismatchError, Tensor, as_tensor, ensure_same_device
 
 __all__ = [
@@ -14,5 +14,6 @@ __all__ = [
     "as_tensor",
     "costs",
     "ensure_same_device",
+    "meta",
     "ops",
 ]

@@ -1,11 +1,22 @@
 """Tensor operators.
 
-Every operator computes its result with numpy and, when a
+Every operator computes its result and, when a
 :class:`~repro.hw.machine.Machine` is active, records a kernel on the
 operands' device with a (flops, bytes) estimate from
 :mod:`repro.tensor.costs`.  Operators therefore behave like the PyTorch ops
-the paper profiles: real numerics plus a hardware cost that the profiler can
+the paper profiles: numerics plus a hardware cost that the profiler can
 attribute to modules and regions.
+
+Under the machine's ``numeric`` backend (the default) results are real numpy
+arrays; under the ``shape`` backend (see :mod:`repro.tensor.meta`) each
+operator derives only the output *shape* and returns a zero-strided
+placeholder, skipping the arithmetic entirely.  The charge arguments are
+computed from operand shapes in both branches, so the two backends issue
+byte-identical kernels — the simulated timeline cannot tell them apart.
+The single exception is :func:`spmm`, whose cost depends on the adjacency's
+non-zero *count*; adjacency matrices are built by plain-numpy preprocessing
+(outside the operator layer) and stay dense real arrays under both backends,
+so the count — and therefore the charge — still matches.
 
 Kernels are issued onto the device's *current* execution stream (see
 :meth:`~repro.hw.machine.Machine.use_stream`), so wrapping operator calls in
@@ -23,8 +34,9 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..hw.device import Device
-from ..hw.machine import active_machine_or_none
+from ..hw.machine import Machine, active_machine_or_none
 from . import costs
+from .meta import placeholder
 from .tensor import Tensor, ensure_same_device
 
 Scalar = Union[int, float]
@@ -41,11 +53,68 @@ def _record(device: Device, name: str, flops: float, bytes_moved: float) -> None
         machine.launch_kernel(device, name, flops, bytes_moved)
 
 
+def _backend() -> Tuple[Optional[Machine], bool]:
+    """The active machine and whether it runs the shape backend."""
+    machine = active_machine_or_none()
+    return (machine, machine is not None and machine.shape_mode)
+
+
+def _launch(
+    machine: Optional[Machine], device: Device, name: str, flops: float, traffic: float
+) -> None:
+    if machine is not None:
+        machine.launch_kernel(device, name, flops, traffic)
+
+
 def _binary_operands(a: Tensor, b: Union[Tensor, Scalar]) -> Tuple[Tensor, Tensor, Device]:
     if isinstance(b, Tensor):
         device = ensure_same_device(a, b)
         return (a, b, device)
     return (a, Tensor(np.asarray(b, dtype=np.float32), a.device), a.device)
+
+
+# -- shape inference helpers ---------------------------------------------------
+
+
+def _matmul_shape(a_shape: Tuple[int, ...], b_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Output shape of ``np.matmul`` for the given operand shapes."""
+    a_vec = len(a_shape) == 1
+    b_vec = len(b_shape) == 1
+    a_mat = (1,) + a_shape if a_vec else a_shape
+    b_mat = b_shape + (1,) if b_vec else b_shape
+    if a_mat[-1] != b_mat[-2]:
+        raise ValueError(f"matmul shape mismatch: {a_shape} @ {b_shape}")
+    batch = np.broadcast_shapes(a_mat[:-2], b_mat[:-2])
+    out = batch + (a_mat[-2], b_mat[-1])
+    if a_vec:
+        out = out[:-2] + out[-1:]
+    if b_vec:
+        out = out[:-1]
+    return out
+
+
+def _reduced_shape(
+    shape: Tuple[int, ...], axis: Optional[int], keepdims: bool
+) -> Tuple[int, ...]:
+    """Output shape of a numpy reduction over ``axis``."""
+    if axis is None:
+        return (1,) * len(shape) if keepdims else ()
+    axis = axis % len(shape)
+    if keepdims:
+        return tuple(1 if i == axis else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i != axis)
+
+
+def _resolve_shape(shape: Sequence[int], size: int) -> Tuple[int, ...]:
+    """Resolve a reshape target (one ``-1`` allowed) against ``size``."""
+    out = tuple(int(s) for s in shape)
+    if -1 in out:
+        known = 1
+        for s in out:
+            if s != -1:
+                known *= s
+        out = tuple(size // max(known, 1) if s == -1 else s for s in out)
+    return out
 
 
 # -- dense linear algebra ----------------------------------------------------
@@ -54,41 +123,56 @@ def _binary_operands(a: Tensor, b: Union[Tensor, Scalar]) -> Tuple[Tensor, Tenso
 def matmul(a: Tensor, b: Tensor, name: str = "gemm") -> Tensor:
     """Dense matrix product, supporting batched operands like ``np.matmul``."""
     device = ensure_same_device(a, b)
-    result = np.matmul(a.data, b.data)
+    machine, shape_only = _backend()
+    if shape_only:
+        out_shape = _matmul_shape(a.data.shape, b.data.shape)
+        result = placeholder(out_shape)
+    else:
+        result = np.matmul(a.data, b.data)
+        out_shape = result.shape
     if a.ndim >= 2 and b.ndim >= 2:
         a_shape = a.data.shape
         m, k = (a_shape[-2], a_shape[-1])
         n = b.data.shape[-1]
-        batch = _prod(result.shape[:-2]) if result.ndim > 2 else 1
+        batch = _prod(out_shape[:-2]) if len(out_shape) > 2 else 1
         flops, traffic = costs.batched_matmul_cost(batch, m, k, n)
     else:
         flops, traffic = costs.matmul_cost(1, a.shape[-1], 1)
-    _record(device, name, flops, traffic)
+    _launch(machine, device, name, flops, traffic)
     return Tensor(result, device)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` as one fused kernel."""
     device = ensure_same_device(x, weight) if bias is None else ensure_same_device(x, weight, bias)
+    machine, shape_only = _backend()
     x_shape = x.data.shape
-    result = x.data @ weight.data.T
-    if bias is not None:
-        # In-place: the matmul result is a fresh array, so no copy is needed.
-        result += bias.data
+    out_shape = x_shape[:-1] + (weight.data.shape[0],)
+    if shape_only:
+        result = placeholder(out_shape)
+    else:
+        result = x.data @ weight.data.T
+        if bias is not None:
+            # In-place: the matmul result is a fresh array, so no copy is needed.
+            result += bias.data
     rows = _prod(x_shape[:-1]) if len(x_shape) > 1 else 1
     flops, traffic = costs.matmul_cost(rows, x_shape[-1], weight.data.shape[0])
     if bias is not None:
-        flops += result.size
-    _record(device, "linear", flops, traffic)
+        flops += _prod(out_shape)
+    _launch(machine, device, "linear", flops, traffic)
     return Tensor(result, device)
 
 
 def outer(a: Tensor, b: Tensor) -> Tensor:
     """Outer product of two vectors."""
     device = ensure_same_device(a, b)
-    result = np.outer(a.data, b.data)
+    machine, shape_only = _backend()
+    if shape_only:
+        result = placeholder((a.numel, b.numel))
+    else:
+        result = np.outer(a.data, b.data)
     flops, traffic = costs.matmul_cost(a.numel, 1, b.numel)
-    _record(device, "outer", flops, traffic)
+    _launch(machine, device, "outer", flops, traffic)
     return Tensor(result, device)
 
 
@@ -102,16 +186,34 @@ def _elementwise(
     b: Union[Tensor, Scalar, None] = None,
     flops_per_element: float = 1.0,
 ) -> Tensor:
+    machine, shape_only = _backend()
     if b is None:
-        result = fn(a.data)
         device = a.device
+        out_shape = a.data.shape
         n_inputs = 1
+        result = placeholder(out_shape) if shape_only else fn(a.data)
+    elif shape_only:
+        n_inputs = 2
+        if isinstance(b, Tensor):
+            device = ensure_same_device(a, b)
+            b_shape = b.data.shape
+            out_shape = (
+                a.data.shape
+                if a.data.shape == b_shape or not b_shape
+                else np.broadcast_shapes(a.data.shape, b_shape)
+            )
+        else:
+            # Scalar operand: no Tensor wrapping needed on the shape path.
+            device = a.device
+            out_shape = a.data.shape
+        result = placeholder(out_shape)
     else:
         a, b_t, device = _binary_operands(a, b)
-        result = fn(a.data, b_t.data)
         n_inputs = 2
-    flops, traffic = costs.elementwise_cost(result.shape, n_inputs, flops_per_element)
-    _record(device, name, flops, traffic)
+        result = fn(a.data, b_t.data)
+        out_shape = result.shape
+    flops, traffic = costs.elementwise_cost(out_shape, n_inputs, flops_per_element)
+    _launch(machine, device, name, flops, traffic)
     return Tensor(result, device)
 
 
@@ -182,44 +284,56 @@ def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
 # -- reductions / normalisation -----------------------------------------------
 
 
-def reduce_sum(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
-    result = np.sum(x.data, axis=axis, keepdims=keepdims)
-    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
-    _record(x.device, "reduce_sum", flops, traffic)
+def _reduce(name: str, fn, x: Tensor, axis: Optional[int], keepdims: bool) -> Tensor:
+    machine, shape_only = _backend()
+    if shape_only:
+        out_shape = _reduced_shape(x.data.shape, axis, keepdims)
+        result = placeholder(out_shape)
+    else:
+        result = fn(x.data, axis=axis, keepdims=keepdims)
+        out_shape = np.shape(result)
+    flops, traffic = costs.reduction_cost(x.shape, out_shape)
+    _launch(machine, x.device, name, flops, traffic)
     return Tensor(result, x.device)
+
+
+def reduce_sum(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    return _reduce("reduce_sum", np.sum, x, axis, keepdims)
 
 
 def reduce_mean(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
-    result = np.mean(x.data, axis=axis, keepdims=keepdims)
-    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
-    _record(x.device, "reduce_mean", flops, traffic)
-    return Tensor(result, x.device)
+    return _reduce("reduce_mean", np.mean, x, axis, keepdims)
 
 
 def reduce_max(x: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
-    result = np.max(x.data, axis=axis, keepdims=keepdims)
-    flops, traffic = costs.reduction_cost(x.shape, np.shape(result))
-    _record(x.device, "reduce_max", flops, traffic)
-    return Tensor(result, x.device)
+    return _reduce("reduce_max", np.max, x, axis, keepdims)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    result = exps / np.sum(exps, axis=axis, keepdims=True)
+    machine, shape_only = _backend()
+    if shape_only:
+        result = placeholder(x.data.shape)
+    else:
+        shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        result = exps / np.sum(exps, axis=axis, keepdims=True)
     flops, traffic = costs.softmax_cost(x.shape)
-    _record(x.device, "softmax", flops, traffic)
+    _launch(machine, x.device, "softmax", flops, traffic)
     return Tensor(result, x.device)
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension as one fused kernel."""
     device = ensure_same_device(x, weight, bias)
-    mean = np.mean(x.data, axis=-1, keepdims=True)
-    var = np.var(x.data, axis=-1, keepdims=True)
-    result = (x.data - mean) / np.sqrt(var + eps) * weight.data + bias.data
+    machine, shape_only = _backend()
+    if shape_only:
+        result = placeholder(x.data.shape)
+    else:
+        mean = np.mean(x.data, axis=-1, keepdims=True)
+        var = np.var(x.data, axis=-1, keepdims=True)
+        result = (x.data - mean) / np.sqrt(var + eps) * weight.data + bias.data
     flops, traffic = costs.elementwise_cost(x.shape, n_inputs=3, flops_per_element=8.0)
-    _record(device, "layer_norm", flops, traffic)
+    _launch(machine, device, "layer_norm", flops, traffic)
     return Tensor(result, device)
 
 
@@ -228,10 +342,16 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
 
 def reshape(x: Tensor, shape: Sequence[int]) -> Tensor:
     """Reshape without data movement (free in the cost model)."""
+    machine, shape_only = _backend()
+    if shape_only:
+        # Reshaping a zero-strided placeholder would force numpy to copy
+        # (and thereby materialise) it; build a fresh placeholder instead.
+        return Tensor(placeholder(_resolve_shape(shape, x.data.size), x.data.dtype), x.device)
     return Tensor(x.data.reshape(shape), x.device)
 
 
 def transpose(x: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    # np.transpose is a stride-permuting view, safe for placeholders too.
     result = np.transpose(x.data, axes)
     flops, traffic = costs.copy_cost(x.shape)
     _record(x.device, "transpose", flops, traffic)
@@ -242,9 +362,18 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("concat requires at least one tensor")
     device = ensure_same_device(*tensors)
-    result = np.concatenate([t.data for t in tensors], axis=axis)
-    flops, traffic = costs.copy_cost(result.shape)
-    _record(device, "concat", flops, traffic)
+    machine, shape_only = _backend()
+    if shape_only:
+        base = list(tensors[0].data.shape)
+        axis_n = axis % len(base)
+        base[axis_n] = sum(t.data.shape[axis_n] for t in tensors)
+        result = placeholder(tuple(base))
+        out_shape: Tuple[int, ...] = tuple(base)
+    else:
+        result = np.concatenate([t.data for t in tensors], axis=axis)
+        out_shape = result.shape
+    flops, traffic = costs.copy_cost(out_shape)
+    _launch(machine, device, "concat", flops, traffic)
     return Tensor(result, device)
 
 
@@ -252,9 +381,17 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("stack requires at least one tensor")
     device = ensure_same_device(*tensors)
-    result = np.stack([t.data for t in tensors], axis=axis)
-    flops, traffic = costs.copy_cost(result.shape)
-    _record(device, "stack", flops, traffic)
+    machine, shape_only = _backend()
+    if shape_only:
+        base = tensors[0].data.shape
+        axis_n = axis % (len(base) + 1)
+        out_shape = base[:axis_n] + (len(tensors),) + base[axis_n:]
+        result = placeholder(out_shape)
+    else:
+        result = np.stack([t.data for t in tensors], axis=axis)
+        out_shape = result.shape
+    flops, traffic = costs.copy_cost(out_shape)
+    _launch(machine, device, "stack", flops, traffic)
     return Tensor(result, device)
 
 
@@ -277,9 +414,15 @@ def gather_rows(x: Tensor, indices: Union[Tensor, np.ndarray, Sequence[int]]) ->
     """
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
     idx = idx.astype(np.int64, copy=False)
-    result = x.data[idx]
-    flops, traffic = costs.gather_cost(result.shape)
-    _record(x.device, "gather", flops, traffic)
+    machine, shape_only = _backend()
+    if shape_only:
+        out_shape = idx.shape + x.data.shape[1:]
+        result = placeholder(out_shape, x.data.dtype)
+    else:
+        result = x.data[idx]
+        out_shape = result.shape
+    flops, traffic = costs.gather_cost(out_shape)
+    _launch(machine, x.device, "gather", flops, traffic)
     return Tensor(result, x.device)
 
 
@@ -291,20 +434,32 @@ def scatter_rows(
     Returns a new tensor; ``x`` is not modified in place.
     """
     device = ensure_same_device(x, updates)
-    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    idx = idx.astype(np.int64, copy=False)
-    result = np.array(x.data, copy=True)
-    result[idx] = updates.data
+    machine, shape_only = _backend()
+    if shape_only:
+        result = placeholder(x.data.shape, x.data.dtype)
+    else:
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        idx = idx.astype(np.int64, copy=False)
+        result = np.array(x.data, copy=True)
+        result[idx] = updates.data
     flops, traffic = costs.scatter_cost(updates.shape)
-    _record(device, "scatter", flops, traffic)
+    _launch(machine, device, "scatter", flops, traffic)
     return Tensor(result, device)
 
 
 def where(condition: Tensor, a: Tensor, b: Tensor) -> Tensor:
     device = ensure_same_device(condition, a, b)
-    result = np.where(condition.data, a.data, b.data)
-    flops, traffic = costs.elementwise_cost(result.shape, n_inputs=3)
-    _record(device, "where", flops, traffic)
+    machine, shape_only = _backend()
+    if shape_only:
+        out_shape = np.broadcast_shapes(
+            condition.data.shape, a.data.shape, b.data.shape
+        )
+        result = placeholder(out_shape)
+    else:
+        result = np.where(condition.data, a.data, b.data)
+        out_shape = result.shape
+    flops, traffic = costs.elementwise_cost(out_shape, n_inputs=3)
+    _launch(machine, device, "where", flops, traffic)
     return Tensor(result, device)
 
 
@@ -317,14 +472,24 @@ def spmm(adjacency: Tensor, x: Tensor, nnz: Optional[int] = None) -> Tensor:
     The numerics use a dense matmul, but the cost is charged as a sparse
     matrix product with ``nnz`` non-zeros (defaulting to the actual count of
     non-zero entries), matching how GNN message passing behaves on hardware.
+
+    The default count reads ``adjacency.data`` even under the shape backend:
+    adjacencies are produced by plain-numpy preprocessing and stay real in
+    both backends, so the charge matches.  A shape-mode caller feeding a
+    placeholder adjacency must pass ``nnz`` explicitly.
     """
     device = ensure_same_device(adjacency, x)
-    result = adjacency.data @ x.data
+    machine, shape_only = _backend()
+    out_shape = _matmul_shape(adjacency.data.shape, x.data.shape)
+    if shape_only:
+        result = placeholder(out_shape)
+    else:
+        result = adjacency.data @ x.data
     non_zeros = int(np.count_nonzero(adjacency.data)) if nnz is None else int(nnz)
     feature_dim = x.shape[-1]
     flops = 2.0 * non_zeros * feature_dim
-    traffic = costs.ITEMSIZE * (non_zeros * 2 + non_zeros * feature_dim + result.size) * 2.0
-    _record(device, "spmm", flops, traffic)
+    traffic = costs.ITEMSIZE * (non_zeros * 2 + non_zeros * feature_dim + _prod(out_shape)) * 2.0
+    _launch(machine, device, "spmm", flops, traffic)
     return Tensor(result, device)
 
 

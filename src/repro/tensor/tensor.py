@@ -31,6 +31,21 @@ ArrayLike = Union[np.ndarray, Sequence, float, int]
 _FLOAT32 = np.dtype(np.float32)
 
 
+def _fill(shape: Sequence[int], value: float) -> np.ndarray:
+    """Constant-array constructor that honours the active backend.
+
+    Under the shape backend the constant's value is irrelevant downstream, so
+    a zero-strided placeholder replaces the dense allocation; the Tensor's
+    logical ``nbytes`` (and therefore the memory-pool charge) is unchanged.
+    """
+    machine = active_machine_or_none()
+    if machine is not None and machine.shape_mode:
+        from .meta import placeholder
+
+        return placeholder(tuple(shape))
+    return np.full(shape, value, dtype=np.float32)
+
+
 class Tensor:
     """A numpy array bound to a simulated device.
 
@@ -84,15 +99,15 @@ class Tensor:
 
     @classmethod
     def zeros(cls, shape: Sequence[int], device: Device, name: str = "") -> "Tensor":
-        return cls(np.zeros(shape, dtype=np.float32), device, name=name, track_memory=True)
+        return cls(_fill(shape, 0.0), device, name=name, track_memory=True)
 
     @classmethod
     def ones(cls, shape: Sequence[int], device: Device, name: str = "") -> "Tensor":
-        return cls(np.ones(shape, dtype=np.float32), device, name=name, track_memory=True)
+        return cls(_fill(shape, 1.0), device, name=name, track_memory=True)
 
     @classmethod
     def full(cls, shape: Sequence[int], value: float, device: Device, name: str = "") -> "Tensor":
-        return cls(np.full(shape, value, dtype=np.float32), device, name=name, track_memory=True)
+        return cls(_fill(shape, value), device, name=name, track_memory=True)
 
     @classmethod
     def randn(

@@ -40,6 +40,27 @@ def test_scenario_registry_covers_required_families():
     assert {"serving_blocking", "serving_overlap"} <= set(names)
     assert {"serving_blocking_cached", "serving_overlap_cached"} <= set(names)
     assert {"scaling_1gpu", "scaling_2gpu", "scaling_4gpu"} <= set(names)
+    assert {"serving_overlap_shape", "serving_shape_speedup"} <= set(names)
+    assert {"scheduler_throughput_shape", "cache_admin_tiny_rows"} <= set(names)
+
+
+def test_wall_prefixed_extras_are_exempt_from_determinism_and_medianed():
+    """``wall_*`` extras vary per rep (they are measured wall-clock); the
+    harness must median them instead of failing the determinism check."""
+    from repro.bench.scenarios import Scenario
+    from repro.hw.machine import Machine
+
+    samples = iter([10.0, 30.0, 20.0])
+
+    def fn(seed, quick):
+        machine = Machine.cpu_only()
+        with machine.activate():
+            machine.host_work("noop", 1.0)
+        return (machine, {"stable": 7.0, "wall_ab_ms": next(samples)})
+
+    result = run_scenario(Scenario("fake", "wall extras", fn), seed=0, reps=3, quick=True)
+    assert result.extras["stable"] == 7.0
+    assert result.extras["wall_ab_ms"] == 20.0
 
 
 def test_payload_is_schema_valid(quick_result):

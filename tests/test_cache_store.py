@@ -216,3 +216,77 @@ def test_property_staleness_bound_and_capacity_never_violated(policy):
     stats = store.stats
     assert stats.hits + stats.misses == stats.lookups
     assert stats.hits > 0 and stats.evictions > 0  # the stream exercised both
+
+
+def test_staleness_zero_bypasses_inserts_entirely():
+    """Under a zero bound ``put`` admits nothing: no inserts, no occupancy."""
+    machine, store = make_store(staleness=0.0)
+    with machine.activate():
+        events_before = machine.event_count
+        for key in range(20):
+            assert store.put(key, "row", event_ms=float(key), nbytes=16) is False
+        assert store.put_many(list(range(20)), "row", [0.0] * 20, 16) == 0
+        store.flush_charges("update")
+    assert store.stats.inserts == 0
+    assert store.stats.entries == 0
+    assert store.stats.bytes_current == 0
+    assert store.stats.bytes_peak == 0
+    assert len(store) == 0
+    # No allocation, copy kernel or admin work was charged for the bypass.
+    assert machine.event_count == events_before
+    assert machine.gpu.memory.usage_by_tag().get("cache:embedding", 0) == 0
+
+
+def test_batched_probe_put_match_per_key_calls_exactly():
+    """probe_many/put_many are charge- and stats-identical to per-key loops."""
+    loop_machine, loop_store = make_store(staleness=30.0, capacity=600)
+    batch_machine, batch_store = make_store(staleness=30.0, capacity=600)
+    keys = [key % 17 for key in range(60)]
+    times = [float(index) for index in range(60)]
+    probe_times = [t + 5.0 for t in times]
+    with loop_machine.activate():
+        for key, event_ms in zip(keys, times):
+            loop_store.put(key, key, event_ms, 24)
+        loop_store.flush_charges("update")
+        loop_values = [
+            loop_store.probe(key, now) for key, now in zip(keys, probe_times)
+        ]
+        loop_store.flush_charges("lookup")
+    with batch_machine.activate():
+        batch_store.put_many(keys, None, times, 24)
+        # put_many shares one value object; rewrite values per key so the
+        # probe comparison below is meaningful.
+        for key, event_ms in zip(keys, times):
+            batch_store.put(key, key, event_ms, 24)
+        batch_store.flush_charges("update")
+        batch_values = batch_store.probe_many(keys, probe_times)
+        batch_store.flush_charges("lookup")
+    assert batch_values == loop_values
+    loop_stats = loop_store.stats.as_dict()
+    batch_stats = batch_store.stats.as_dict()
+    # The batched store did one extra overwrite round (the value rewrite),
+    # which doubles inserts but must not disturb the lookup-side counters.
+    for key in ("lookups", "hits", "misses", "stale_rejects", "entries",
+                "bytes_current", "hit_rate"):
+        assert batch_stats[key] == loop_stats[key], key
+    assert batch_stats["inserts"] == 2 * loop_stats["inserts"]
+
+
+def test_put_many_evicts_under_pressure_like_put():
+    """Eviction decisions inside put_many mirror sequential per-key puts."""
+    loop_machine, loop_store = make_store(staleness=100.0, capacity=100)
+    batch_machine, batch_store = make_store(staleness=100.0, capacity=100)
+    keys = list(range(10))
+    times = [float(index) for index in range(10)]
+    with loop_machine.activate():
+        for key, event_ms in zip(keys, times):
+            loop_store.put(key, True, event_ms, 30)
+        loop_store.flush_charges("update")
+    with batch_machine.activate():
+        assert batch_store.put_many(keys, True, times, 30) == 10
+        batch_store.flush_charges("update")
+    assert loop_store.stats.as_dict() == batch_store.stats.as_dict()
+    assert loop_store.stats.evictions > 0
+    assert sorted(key for key in keys if key in loop_store) == sorted(
+        key for key in keys if key in batch_store
+    )
