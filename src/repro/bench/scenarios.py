@@ -24,11 +24,16 @@ from ..cache import make_model_cache
 from ..cache.policy import make_eviction_policy
 from ..cache.store import DeviceResidentCache
 from ..datasets import load as load_dataset
+from ..hw.cluster import Cluster
 from ..hw.machine import Machine
 from ..models.tgat import TGAT, TGATConfig
 from ..serve import (
+    AutoscaleConfig,
+    Autoscaler,
+    ClusterServer,
     InferenceServer,
     ScaleOutServer,
+    build_cluster_replicas,
     build_replicas,
     generate_requests,
     make_arrival_process,
@@ -261,6 +266,114 @@ def _shape_speedup(seed: int, quick: bool):
     return (shape_machine, extras)
 
 
+def _cluster_serving_run(seed: int, quick: bool, backend: str, autoscale: bool):
+    """One cluster serving run on ``2n-2xA100-eth`` (4 replicas, 2 nodes)."""
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    cluster = Cluster("2n-2xA100-eth", backend=backend)
+    config = TGATConfig(num_neighbors=10, batch_size=64, seed=seed)
+    replicas, nodes = build_cluster_replicas(
+        cluster, lambda machine: TGAT(machine, dataset, config)
+    )
+    duration_ms = 80.0 if quick else 250.0
+    if autoscale:
+        arrival_name = "flash-crowd"
+        arrivals = make_arrival_process(
+            arrival_name, 400.0, seed=seed,
+            flash_at_ms=duration_ms * 0.3,
+            flash_duration_ms=duration_ms * 0.4,
+            flash_multiplier=6.0,
+        )
+    else:
+        arrival_name = "poisson"
+        arrivals = make_arrival_process(arrival_name, 500.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=duration_ms,
+        events_per_request=2,
+        slo_ms=50.0,
+    )
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    autoscaler = None
+    if autoscale:
+        autoscaler = Autoscaler(AutoscaleConfig(
+            min_replicas=1,
+            max_replicas=len(replicas),
+            slo_ms=50.0,
+            up_cooldown_ms=10.0,
+            down_cooldown_ms=40.0,
+        ))
+    server = ClusterServer(
+        cluster, replicas, nodes, policy,
+        make_router("least-latency", len(replicas)), autoscaler=autoscaler,
+    )
+    label = "bench-cluster-" + ("autoscale" if autoscale else "static")
+    report = server.serve(requests, label=label, arrival_name=arrival_name)
+    return cluster, report
+
+
+def _cluster_static(seed: int, quick: bool):
+    """Static-fleet cluster serving: 4 replicas over 2 NIC-linked nodes.
+
+    Exercises the cross-node dispatch path -- payload ship over the NIC,
+    remote prepare/dispatch in the shared cluster time frame -- under the
+    same Poisson load shape as the single-machine scaling scenarios, so a
+    wall-clock regression here isolates the cluster layer's own overhead.
+    """
+    cluster, report = _cluster_serving_run(seed, quick, "numeric", autoscale=False)
+    extras = {
+        "p99_ms": round(report.total_latency().p99_ms, 3) if report.completed else 0.0,
+        "nic_mb": round(cluster.nic_bytes() / 1e6, 3),
+    }
+    return (cluster, extras)
+
+
+def _cluster_autoscale_flash(seed: int, quick: bool):
+    """Autoscaled flash-crowd serving, interleaved numeric-vs-shape A/B.
+
+    The elastic fleet rides a flash crowd -- scale-ups pay modeled cold
+    starts (weight transfer over the NIC) on the simulated timeline.  Both
+    backends run the identical workload and must agree on event counts,
+    cluster clocks, p99 and the autoscaler's decisions; the ``wall_*``
+    extras carry the backend A/B result for this heaviest serving path.
+    """
+    start = time.perf_counter()
+    numeric_cluster, numeric_report = _cluster_serving_run(seed, quick, "numeric", True)
+    numeric_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    shape_cluster, shape_report = _cluster_serving_run(seed, quick, "shape", True)
+    shape_ms = (time.perf_counter() - start) * 1e3
+    numeric_p99 = numeric_report.total_latency().p99_ms if numeric_report.completed else 0.0
+    shape_p99 = shape_report.total_latency().p99_ms if shape_report.completed else 0.0
+    numeric_scale = numeric_report.autoscale or {}
+    shape_scale = shape_report.autoscale or {}
+    if (
+        numeric_cluster.event_count != shape_cluster.event_count
+        or numeric_cluster.time_ms != shape_cluster.time_ms
+        or numeric_p99 != shape_p99
+        or numeric_scale.get("scale_ups") != shape_scale.get("scale_ups")
+        or numeric_scale.get("scale_downs") != shape_scale.get("scale_downs")
+    ):
+        raise RuntimeError(
+            "shape backend diverged from numeric on the autoscaled cluster "
+            f"workload: events {numeric_cluster.event_count} vs "
+            f"{shape_cluster.event_count}, sim {numeric_cluster.time_ms} vs "
+            f"{shape_cluster.time_ms} ms, p99 {numeric_p99} vs {shape_p99} ms, "
+            f"autoscale {numeric_scale} vs {shape_scale}"
+        )
+    extras = {
+        "p99_ms": round(shape_p99, 3),
+        "nic_mb": round(shape_cluster.nic_bytes() / 1e6, 3),
+        "scale_ups": float(shape_scale.get("scale_ups", 0)),
+        "scale_downs": float(shape_scale.get("scale_downs", 0)),
+        "cold_start_ms": round(shape_scale.get("cold_start_ms", 0.0), 3),
+        "wall_numeric_ms": round(numeric_ms, 3),
+        "wall_shape_ms": round(shape_ms, 3),
+        "wall_speedup": round(numeric_ms / shape_ms, 3) if shape_ms > 0 else 0.0,
+    }
+    return (shape_cluster, extras)
+
+
 def _cache_admin(seed: int, quick: bool):
     """Batched vs per-key cache admin on tiny memory rows (micro A/B).
 
@@ -390,6 +503,16 @@ SCENARIOS: Dict[str, Scenario] = {
             "serving_shape_speedup",
             "interleaved numeric-vs-shape A/B, production-sized batches",
             _shape_speedup,
+        ),
+        Scenario(
+            "cluster_static_fleet",
+            "static 4-replica serving across 2 NIC-linked nodes",
+            _cluster_static,
+        ),
+        Scenario(
+            "cluster_autoscale_flash",
+            "autoscaled flash-crowd cluster serving, numeric-vs-shape A/B",
+            _cluster_autoscale_flash,
         ),
         Scenario(
             "scheduler_throughput",

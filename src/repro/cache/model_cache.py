@@ -359,6 +359,21 @@ class ModelCache:
             store.flush_charges("invalidate")
         return dropped
 
+    def flush(self) -> int:
+        """Drop every entry across every store (replica cold start / spin-down).
+
+        The autoscaler calls this when a replica leaves the fleet: its
+        device memory is released, so whatever the caches held is gone and
+        the replica's next activation starts cold -- the cache-warm-up half
+        of the modeled cold-start cost.  Returns the number of dropped
+        entries; the invalidation work is charged to the owning machine.
+        """
+        dropped = 0
+        for store in self._stores.values():
+            dropped += store.flush()
+            store.flush_charges("flush")
+        return dropped
+
     # -- telemetry ---------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:

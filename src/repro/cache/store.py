@@ -386,6 +386,16 @@ class DeviceResidentCache:
             self._ledger.pending = True
         return dropped
 
+    def flush(self) -> int:
+        """Drop every live entry; returns the drop count.
+
+        The bulk form of :meth:`invalidate`, used when a serving replica is
+        spun down (its device memory is released) or cold-started (whatever
+        the store held no longer exists on the new instance).  Charged like
+        any other invalidation batch -- settle with :meth:`flush_charges`.
+        """
+        return self.invalidate(list(self._entries))
+
     def _remove(self, key: Any, entry: _Entry) -> None:
         del self._entries[key]
         self.policy.on_remove(key)

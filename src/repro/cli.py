@@ -43,15 +43,19 @@ from .core import Profiler, analyze_profile, compute_breakdown
 from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
 from .graph.partition import available_partitioners, make_partition
-from .hw import Machine, available_machine_specs
+from .hw import Cluster, Machine, available_cluster_specs, available_machine_specs
 from .models import available_models, build_model
 from .serve import (
+    AutoscaleConfig,
+    Autoscaler,
+    ClusterServer,
     InferenceServer,
     ScaleOutServer,
     ShardedModel,
     available_arrivals,
     available_policies,
     available_routers,
+    build_cluster_replicas,
     build_replicas,
     generate_requests,
     make_arrival_process,
@@ -164,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     srv.add_argument("--arrival", default="poisson", choices=available_arrivals(),
                      help="request arrival process")
+    srv.add_argument(
+        "--arrival-param", action="append", type=_param_override, default=[],
+        metavar="KEY=VALUE",
+        help="arrival-process override, e.g. --arrival-param "
+             "flash_multiplier=8 for --arrival flash-crowd (repeatable)",
+    )
     srv.add_argument("--rate", type=float, default=200.0,
                      help="mean arrival rate in requests per simulated second")
     srv.add_argument("--policy", default="timeout", choices=available_policies(),
@@ -180,8 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="event-stream slice size each request carries")
     srv.add_argument("--seed", type=int, default=0,
                      help="seed for the arrival process (runs are reproducible)")
-    srv.add_argument("--topology", default="1xA6000", choices=available_machine_specs(),
-                     help="machine topology preset to serve on")
+    srv.add_argument("--topology", default="1xA6000",
+                     choices=available_machine_specs() + available_cluster_specs(),
+                     help="machine or cluster topology preset to serve on; "
+                          "cluster presets (e.g. 2n-2xA100-eth) place one "
+                          "replica per GPU across NIC-linked nodes")
     srv.add_argument("--backend", default="numeric", choices=("numeric", "shape"),
                      help="execution backend: 'numeric' computes real values, "
                           "'shape' propagates only shapes/dtypes while charging "
@@ -195,7 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "replica per GPU behind a router, or a graph-"
                           "sharded model spanning the GPUs")
     srv.add_argument("--router", default="round-robin", choices=available_routers(),
-                     help="batch router for --placement replicate")
+                     help="batch router for --placement replicate and cluster "
+                          "topologies")
+    srv.add_argument(
+        "--autoscale", action=argparse.BooleanOptionalAction, default=False,
+        help="enable the elastic autoscaler (cluster topologies only): "
+             "replicas spin up/down between --min-replicas and "
+             "--max-replicas, paying modeled cold starts (weight transfer "
+             "over the NIC, cold caches)",
+    )
+    srv.add_argument("--min-replicas", type=int, default=1,
+                     help="autoscaler floor (with --autoscale)")
+    srv.add_argument("--max-replicas", type=int, default=None,
+                     help="autoscaler ceiling (with --autoscale; default: "
+                          "every GPU in the cluster)")
     srv.add_argument("--partitioner", default="degree", choices=available_partitioners(),
                      help="node partitioner for --placement shard")
     srv.add_argument(
@@ -358,6 +384,15 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
+    if args.topology in available_cluster_specs():
+        return _cmd_serve_cluster(args, overrides)
+    if args.autoscale:
+        print(
+            "error: --autoscale needs a cluster topology "
+            f"(one of: {', '.join(available_cluster_specs())})",
+            file=sys.stderr,
+        )
+        return 2
     machine = Machine.from_spec(args.topology, backend=args.backend)
     gpus = list(machine.gpus)
     if args.gpus is not None:
@@ -424,6 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         arrivals = make_arrival_process(
             args.arrival, args.rate, seed=args.seed,
             trace_timestamps=stream.timestamps if args.arrival == "trace" else None,
+            **_parse_param(args.arrival_param),
         )
         requests = generate_requests(
             stream, arrivals, duration_ms=args.duration,
@@ -446,6 +482,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             server = InferenceServer(models[0], policy, overlap=args.overlap)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_table())
+    if not requests:
+        print("(the workload offered no requests; raise --rate or --duration)")
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> int:
+    """Serve on a multi-node cluster topology (one replica per GPU)."""
+    if args.placement == "shard":
+        print(
+            "error: --placement shard is single-machine only; cluster "
+            "topologies serve one replica per GPU behind a router",
+            file=sys.stderr,
+        )
+        return 2
+    if args.overlap:
+        print(
+            "error: --overlap applies to single-model serving; cluster "
+            "dispatch already overlaps sampling and compute",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gpus is not None:
+        print(
+            "error: --gpus applies to single-machine topologies; cluster "
+            "presets use every GPU of every node",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = Cluster(args.topology, backend=args.backend)
+    try:
+        with cluster.nodes[0].activate():
+            dataset = load(args.dataset, scale=args.scale) if args.dataset else None
+        models, nodes = build_cluster_replicas(
+            cluster,
+            lambda machine: build_model(
+                args.model, machine, dataset=dataset, scale=args.scale, **overrides
+            ),
+        )
+        if args.cache:
+            for model in models:
+                with model.machine.activate():
+                    make_model_cache(
+                        model,
+                        policy=args.cache_policy,
+                        capacity_mb=args.cache_mb,
+                        staleness_ms=args.staleness_ms,
+                    )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if dataset is None:
+        dataset = getattr(models[0], "dataset", None)
+    stream = getattr(dataset, "stream", None)
+    if stream is None:
+        print(f"error: {args.model} exposes no event stream to serve", file=sys.stderr)
+        return 2
+    try:
+        arrivals = make_arrival_process(
+            args.arrival, args.rate, seed=args.seed,
+            trace_timestamps=stream.timestamps if args.arrival == "trace" else None,
+            **_parse_param(args.arrival_param),
+        )
+        requests = generate_requests(
+            stream, arrivals, duration_ms=args.duration,
+            events_per_request=args.events_per_request, slo_ms=args.slo_ms,
+        )
+        policy = make_policy(
+            args.policy, max_batch_size=args.max_batch_size,
+            batch_timeout_ms=args.batch_timeout_ms, slo_ms=args.slo_ms,
+        )
+        autoscaler = None
+        if args.autoscale:
+            config = AutoscaleConfig(
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas or len(models),
+                slo_ms=args.slo_ms,
+            )
+            autoscaler = Autoscaler(config)
+        server = ClusterServer(
+            cluster, models, nodes, policy,
+            make_router(args.router, len(models)), autoscaler=autoscaler,
+        )
+        report = server.serve(
+            requests, label=f"{args.model}-serve-cluster", arrival_name=args.arrival
+        )
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

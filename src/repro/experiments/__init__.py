@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from . import (
     ablations,
+    autoscaling,
     cache_ablation,
     fig6,
     fig7,
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig9.run,
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
+    "autoscaling": autoscaling.run,
     "cache_ablation": cache_ablation.run,
     "overlap_exec": overlap_exec.run,
     "scaling": scaling.run,
@@ -77,6 +79,7 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "autoscaling",
     "available_experiments",
     "cache_ablation",
     "fig6",

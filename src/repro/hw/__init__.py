@@ -8,6 +8,7 @@ event log to produce the breakdowns, utilization curves and memory figures the
 paper obtains from PyTorch Profiler and Nsight Systems.
 """
 
+from .cluster import Cluster
 from .device import Device, KernelCost
 from .events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP, Event, EventLog
 from .link import Link
@@ -15,17 +16,23 @@ from .machine import Machine, NoActiveMachineError, current_machine, has_active_
 from .memory import Allocation, MemoryPool, OutOfMemoryError
 from .spec import (
     A100_SXM,
+    CLUSTER_SPECS,
     DEFAULT_WARMUP,
+    ETHERNET_25G,
+    INFINIBAND_HDR,
     MACHINE_SPECS,
     NVLINK3,
     PCIE_GEN4,
     RTX_A6000,
     XEON_6226R,
+    ClusterSpec,
     DeviceSpec,
     LinkSpec,
     MachineSpec,
     WarmupSpec,
+    available_cluster_specs,
     available_machine_specs,
+    cluster_spec,
     machine_spec,
 )
 from .stream import (
@@ -42,9 +49,12 @@ from .topology import Hop, Topology
 __all__ = [
     "A100_SXM",
     "ALLOC",
+    "CLUSTER_SPECS",
     "COPY_STREAM",
     "DEFAULT_STREAM",
+    "ETHERNET_25G",
     "FREE",
+    "INFINIBAND_HDR",
     "KERNEL",
     "MACHINE_SPECS",
     "MARKER",
@@ -53,6 +63,8 @@ __all__ = [
     "TRANSFER",
     "WARMUP",
     "Allocation",
+    "Cluster",
+    "ClusterSpec",
     "DEFAULT_WARMUP",
     "Device",
     "DeviceSpec",
@@ -77,7 +89,9 @@ __all__ = [
     "Topology",
     "WarmupSpec",
     "XEON_6226R",
+    "available_cluster_specs",
     "available_machine_specs",
+    "cluster_spec",
     "current_machine",
     "has_active_machine",
     "machine_spec",

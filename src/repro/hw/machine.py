@@ -75,6 +75,17 @@ shape without changing any of the above:
   what lets a serving loop retire one replica's batch without draining the
   other replicas' queues.
 
+One machine is one *node*.  Rack-scale topologies compose several machines
+into a :class:`~repro.hw.cluster.Cluster`: each node keeps its own host
+clock (all starting at 0, so every ``host_time_ms`` is a position in one
+shared cluster time frame), and node pairs are joined by NIC links.  A
+cross-node payload stages GPU -> host -> NIC -> host -> GPU, with each hop
+charged to its link's timeline and the issuing node's host paying per-hop
+issue overheads -- the same charging discipline as this class's staged
+PCIe peer copies, extended across the node boundary.  Nothing in this class
+changes for cluster use; the cluster coordinates node clocks from outside
+via :meth:`advance_host` (monotone alignment only, never rewinding).
+
 Online serving (:mod:`repro.serve`) drives the host-time cursor in a third
 way: besides advancing through issued work, the serving loop calls
 :meth:`advance_host` to *fast-forward* the cursor to the next actionable

@@ -214,6 +214,22 @@ A100_SXM = DeviceSpec(
 #: the host link, which is what makes peer-to-peer shard gathers cheap.
 NVLINK3 = LinkSpec(name="nvlink3", bandwidth_gbps=40.0, latency_us=5.0, host_overhead_us=2.0)
 
+#: 25 GbE NIC between two rack nodes.  Bandwidth is the achieved end-to-end
+#: throughput of a framework-level TCP copy path (serialization + kernel
+#: networking stack), well below the 3.1 GB/s wire rate; the latency is a
+#: realistic same-rack RTT/2 plus stack traversal.  Cross-node transfers are
+#: the slowest channel in a cluster by an order of magnitude, which is what
+#: makes replica placement and cold-start weight shipping first-order costs.
+ETHERNET_25G = LinkSpec(name="eth-25g", bandwidth_gbps=1.5, latency_us=60.0, host_overhead_us=4.0)
+
+#: InfiniBand HDR NIC (RDMA path).  Much higher achieved bandwidth and far
+#: lower latency than the Ethernet preset -- the kernel stack is bypassed --
+#: but still below any intra-node channel, so node boundaries stay visible
+#: in the cost model.
+INFINIBAND_HDR = LinkSpec(
+    name="ib-hdr", bandwidth_gbps=12.0, latency_us=8.0, host_overhead_us=2.0
+)
+
 
 # -- Machine-level presets ----------------------------------------------------
 
@@ -292,3 +308,76 @@ def machine_spec(spec: Union[str, MachineSpec]) -> MachineSpec:
             f"{', '.join(available_machine_specs())}"
         )
     return MACHINE_SPECS[spec]
+
+
+# -- Cluster-level presets ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A rack of identical nodes joined by NIC links.
+
+    Every node is a full :class:`MachineSpec` machine (its own host clock,
+    GPUs, PCIe/NVLink complement); node pairs are connected all-to-all by
+    one NIC link each (Ethernet or InfiniBand presets).  Cross-node data
+    takes the GPU -> host -> NIC -> host -> GPU staged route, every hop
+    charged on the cost-model timeline (see :class:`repro.hw.cluster.Cluster`).
+
+    Attributes:
+        name: Preset name (``"2n-2xA100-eth"``, ...).
+        node: Per-node machine spec (all nodes are identical).
+        num_nodes: Number of nodes in the cluster (>= 1).
+        nic: NIC link spec joining every node pair.
+    """
+
+    name: str
+    node: MachineSpec
+    num_nodes: int = 2
+    nic: LinkSpec = ETHERNET_25G
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.num_gpus
+
+
+#: Cluster-spec registry for the CLI / experiments.  Sizes are chosen so the
+#: ``autoscaling`` experiment can sweep static fleets of 1..4 GPUs against an
+#: elastic fleet on the same hardware.
+CLUSTER_SPECS: Dict[str, ClusterSpec] = {
+    spec.name: spec
+    for spec in (
+        ClusterSpec(name="1n-2xA100", node=MACHINE_SPECS["2xA100-pcie"], num_nodes=1),
+        ClusterSpec(name="2n-1xA100-eth", node=MACHINE_SPECS["1xA100"], num_nodes=2),
+        ClusterSpec(
+            name="2n-1xA100-ib", node=MACHINE_SPECS["1xA100"], num_nodes=2, nic=INFINIBAND_HDR
+        ),
+        ClusterSpec(name="2n-2xA100-eth", node=MACHINE_SPECS["2xA100-pcie"], num_nodes=2),
+        ClusterSpec(
+            name="2n-2xA100-ib",
+            node=MACHINE_SPECS["2xA100-pcie"],
+            num_nodes=2,
+            nic=INFINIBAND_HDR,
+        ),
+        ClusterSpec(name="4n-1xA100-eth", node=MACHINE_SPECS["1xA100"], num_nodes=4),
+    )
+}
+
+
+def available_cluster_specs() -> List[str]:
+    return sorted(CLUSTER_SPECS)
+
+
+def cluster_spec(spec: Union[str, ClusterSpec]) -> ClusterSpec:
+    """Resolve a cluster spec by preset name (passes specs through)."""
+    if isinstance(spec, ClusterSpec):
+        return spec
+    if spec not in CLUSTER_SPECS:
+        raise KeyError(
+            f"unknown cluster spec {spec!r}; available: "
+            f"{', '.join(available_cluster_specs())}"
+        )
+    return CLUSTER_SPECS[spec]

@@ -19,6 +19,16 @@ peered GPU<->GPU copies, and two hops for staged peer copies.  The
 On a single-GPU machine the topology degenerates to exactly the seed's shape:
 one link carrying the unchanged spec name, so event logs, breakdowns and all
 figure/table outputs stay byte-identical.
+
+One :class:`Topology` covers one *node*.  Cross-node routes extend the
+staged-peer idea one level up: a :class:`~repro.hw.cluster.Cluster` joins
+node pairs with NIC links (Ethernet/InfiniBand presets), and a transfer
+between devices of different nodes stages GPU -> host -> NIC -> host -> GPU
+-- a ``d2h`` hop on this topology's host link, the NIC hop, then an ``h2d``
+hop on the destination node's topology -- each hop charged on its own link
+timeline with hops serialized.  Intra-node routes are unchanged: a
+single-node cluster never consults a NIC and reproduces this module's
+routing byte-for-byte.
 """
 
 from __future__ import annotations

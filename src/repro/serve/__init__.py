@@ -17,6 +17,11 @@ throughput numbers under load.  It simulates an online serving stack on the
   (per-GPU model replicas behind a batch router) and sharded serving (a
   seeded graph partition splitting each batch across GPUs, with cross-shard
   gathers charged to the interconnect);
+* :mod:`repro.serve.cluster` / :mod:`repro.serve.autoscale` -- cluster-scale
+  serving: replicas spread over the nodes of a :class:`~repro.hw.Cluster`
+  with batch payloads routed over NICs, plus an elastic autoscaler that
+  grows/shrinks the active fleet against watermark and SLO signals, with
+  modeled cold-start charges;
 * :mod:`repro.serve.telemetry` -- per-request queue/service/total latency,
   p50/p95/p99 percentiles, throughput, SLO-violation rate and per-device
   utilization.
@@ -25,7 +30,9 @@ See the ``serving``/``scaling`` experiments and the ``repro-dgnn serve``
 CLI subcommand for the end-to-end sweeps.
 """
 
+from .autoscale import AutoscaleConfig, Autoscaler, ScaleEvent
 from .batcher import DynamicBatcher
+from .cluster import ClusterServer, build_cluster_replicas, payload_nbytes
 from .placement import ShardedModel, build_replicas
 from .policy import (
     POLICIES,
@@ -55,6 +62,8 @@ from .workload import (
     ARRIVAL_PROCESSES,
     ArrivalProcess,
     BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
     PoissonProcess,
     TraceReplay,
     available_arrivals,
@@ -65,9 +74,14 @@ from .workload import (
 __all__ = [
     "ARRIVAL_PROCESSES",
     "ArrivalProcess",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BurstyProcess",
+    "ClusterServer",
+    "DiurnalProcess",
     "DynamicBatcher",
     "FIFOPolicy",
+    "FlashCrowdProcess",
     "InferenceServer",
     "JoinShortestQueueRouter",
     "LeastLatencyRouter",
@@ -79,6 +93,7 @@ __all__ = [
     "RoundRobinRouter",
     "Router",
     "SLOAwarePolicy",
+    "ScaleEvent",
     "ScaleOutServer",
     "SchedulerPolicy",
     "ServiceTimeEstimator",
@@ -89,9 +104,11 @@ __all__ = [
     "available_arrivals",
     "available_policies",
     "available_routers",
+    "build_cluster_replicas",
     "build_replicas",
     "generate_requests",
     "make_arrival_process",
     "make_policy",
     "make_router",
+    "payload_nbytes",
 ]

@@ -52,10 +52,37 @@ class Router:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
         self.replicas = [ReplicaState(index) for index in range(num_replicas)]
+        #: Replicas eligible for new dispatches.  All replicas start active;
+        #: an autoscaler narrows the set (scale-down drains a replica by
+        #: removing it here while its in-flight batches finish).
+        self._active = set(range(num_replicas))
 
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    # -- active set ------------------------------------------------------
+
+    def set_active(self, indices) -> None:
+        """Restrict routing to ``indices`` (the autoscaler's current fleet).
+
+        Inactive replicas keep their state (queues drain, estimators stay
+        warm for when they are reactivated) but receive no new batches.
+        """
+        active = set(int(i) for i in indices)
+        if not active:
+            raise ValueError("active set must contain at least one replica")
+        invalid = [i for i in active if not 0 <= i < self.num_replicas]
+        if invalid:
+            raise ValueError(f"replica indices out of range: {sorted(invalid)}")
+        self._active = active
+
+    def active_indices(self) -> List[int]:
+        """Replicas currently eligible for dispatch, in index order."""
+        return sorted(self._active)
+
+    def is_active(self, index: int) -> bool:
+        return index in self._active
 
     # -- decision --------------------------------------------------------
 
@@ -110,9 +137,14 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def route(self, batch_size: int, now_ms: float) -> int:
-        index = self._next
-        self._next = (self._next + 1) % self.num_replicas
-        return index
+        # Advance the cursor past inactive replicas; with every replica
+        # active this is the plain one-step cycle.
+        for _ in range(self.num_replicas):
+            index = self._next
+            self._next = (self._next + 1) % self.num_replicas
+            if index in self._active:
+                return index
+        raise RuntimeError("no active replica to route to")
 
 
 class JoinShortestQueueRouter(Router):
@@ -122,7 +154,7 @@ class JoinShortestQueueRouter(Router):
 
     def route(self, batch_size: int, now_ms: float) -> int:
         return min(
-            range(self.num_replicas),
+            self.active_indices(),
             key=lambda i: (self.replicas[i].inflight_requests, i),
         )
 
@@ -149,7 +181,7 @@ class LeastLatencyRouter(Router):
             estimated = (state.inflight_requests + batch_size) * per_request
             return (1, estimated, index)
 
-        return min(range(self.num_replicas), key=score)
+        return min(self.active_indices(), key=score)
 
 
 #: Router registry for the CLI / experiment sweeps.

@@ -41,6 +41,12 @@ class ServingReport:
             policy/capacity/staleness configuration plus hit/miss/staleness/
             eviction counters and byte occupancy, as produced by
             :meth:`repro.cache.ModelCache.stats` (or the multi-replica merge).
+        cluster: Cluster shape of the run (``None`` on single-machine runs):
+            node count, NIC preset and total NIC bytes moved.
+        autoscale: Elastic-fleet telemetry (``None`` on statically
+            provisioned runs): replica bounds, scale events with their
+            cold-start charges, and the fleet's GPU-time integral, as
+            produced by :meth:`repro.serve.autoscale.Autoscaler.stats`.
     """
 
     label: str
@@ -57,6 +63,8 @@ class ServingReport:
     num_replicas: int = 1
     per_device_utilization: Dict[str, float] = field(default_factory=dict)
     cache: Optional[Dict[str, Any]] = None
+    cluster: Optional[Dict[str, Any]] = None
+    autoscale: Optional[Dict[str, Any]] = None
 
     # -- latency distributions -------------------------------------------------
 
@@ -137,6 +145,15 @@ class ServingReport:
             row["cache_hit_rate"] = self.cache.get("hit_rate", 0.0)
             row["cache_mb"] = round(self.cache.get("bytes_peak", 0) / 1e6, 3)
             row["cache"] = self.cache
+        if self.cluster is not None:
+            row["num_nodes"] = self.cluster.get("num_nodes", 1)
+            row["nic"] = self.cluster.get("nic", "")
+            row["nic_bytes"] = self.cluster.get("nic_bytes", 0)
+        if self.autoscale is not None:
+            row["autoscale_gpu_time_ms"] = round(self.autoscale.get("gpu_time_ms", 0.0), 3)
+            row["scale_ups"] = self.autoscale.get("scale_ups", 0)
+            row["scale_downs"] = self.autoscale.get("scale_downs", 0)
+            row["autoscale"] = self.autoscale
         if self.completed:
             for prefix, summary in (
                 ("", self.total_latency()),
@@ -151,6 +168,12 @@ class ServingReport:
         lines = [f"serving report: {self.label}"]
         lines.append(f"  policy:   {self.policy}")
         lines.append(f"  arrival:  {self.arrival}   overlap: {self.overlap}")
+        if self.cluster is not None:
+            lines.append(
+                f"  cluster:  {self.cluster.get('num_nodes', 1)} nodes over "
+                f"{self.cluster.get('nic', '?')}   NIC traffic: "
+                f"{self.cluster.get('nic_bytes', 0) / 1e6:.2f} MB"
+            )
         if self.placement != "single":
             spread = self.requests_per_replica()
             detail = f"   router: {self.router}" if self.router else ""
@@ -195,6 +218,15 @@ class ServingReport:
                 f"invalidated: {self.cache.get('invalidations', 0)}   "
                 f"occupancy: {self.cache.get('bytes_current', 0) / 1e6:.2f} MB "
                 f"(peak {self.cache.get('bytes_peak', 0) / 1e6:.2f} MB)"
+            )
+        if self.autoscale is not None:
+            lines.append(
+                f"  autoscale: {self.autoscale.get('min_replicas', '?')}-"
+                f"{self.autoscale.get('max_replicas', '?')} replicas   "
+                f"ups: {self.autoscale.get('scale_ups', 0)}   "
+                f"downs: {self.autoscale.get('scale_downs', 0)}   "
+                f"GPU-time: {self.autoscale.get('gpu_time_ms', 0.0):.1f} ms   "
+                f"cold-start: {self.autoscale.get('cold_start_ms', 0.0):.1f} ms"
             )
         lines.append(
             f"  utilization: GPU {self.gpu_utilization * 100:.2f}%   "

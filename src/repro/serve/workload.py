@@ -12,7 +12,13 @@ sweep:
   rate, which is what stresses tail latency and SLO-aware batching;
 * :class:`TraceReplay` -- deterministic replay of the dataset's own
   interaction timestamps, rescaled to a target mean rate, so the serving
-  load inherits the burstiness the synthetic datasets already model.
+  load inherits the burstiness the synthetic datasets already model;
+* :class:`DiurnalProcess` -- a sinusoidal rate curve (day/night cycle
+  compressed to a configurable period) sampled exactly via thinning, the
+  slow load swing an autoscaler should track with few scale events;
+* :class:`FlashCrowdProcess` -- a flat baseline interrupted by one sudden
+  high-rate window (a flash crowd), the step change that separates elastic
+  fleets from statically provisioned ones.
 
 Every process draws from one seeded :class:`random.Random` and is fully
 reproducible from its ``seed``; :func:`generate_requests` couples a process
@@ -22,6 +28,7 @@ with an :class:`~repro.graph.events.EventStream` to produce the concrete
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterator, List, Optional, Sequence
 
@@ -130,6 +137,119 @@ class BurstyProcess(ArrivalProcess):
             self._phase_remaining_ms = 0.0
 
 
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidally modulated Poisson arrivals (a compressed day/night cycle).
+
+    The instantaneous rate follows ``rate * (1 + a*sin(2*pi*t/period))`` with
+    ``a = 1 - trough_fraction``, so load swings between ``trough_fraction``
+    and ``2 - trough_fraction`` times the nominal rate while the time-averaged
+    rate over a full period stays exactly ``rate_per_s``.  Arrivals are drawn
+    by Ogata thinning against the peak rate, which samples the inhomogeneous
+    Poisson process exactly (no discretization of the rate curve).
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        seed: int = 0,
+        period_ms: float = 4000.0,
+        trough_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(rate_per_s, seed=seed)
+        if period_ms <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= trough_fraction <= 1.0:
+            raise ValueError("trough_fraction must be in [0, 1]")
+        self.period_ms = float(period_ms)
+        self.trough_fraction = float(trough_fraction)
+        self.amplitude = 1.0 - self.trough_fraction
+        self.peak_rate = rate_per_s * (1.0 + self.amplitude)
+        self._now_ms = 0.0
+
+    def rate_at(self, t_ms: float) -> float:
+        """The instantaneous arrival rate (per second) at absolute time ``t_ms``."""
+        phase = math.sin(2.0 * math.pi * t_ms / self.period_ms)
+        return self.rate_per_s * (1.0 + self.amplitude * phase)
+
+    def inter_arrival_ms(self) -> float:
+        start = self._now_ms
+        t = start
+        while True:
+            # Candidate from the homogeneous peak-rate process; accept with
+            # probability rate(t)/peak.  Rejected candidates still advance t
+            # (they are the thinned-out points of the dominating process).
+            t += self.rng.expovariate(self.peak_rate) * 1000.0
+            if self.rng.random() * self.peak_rate <= self.rate_at(t):
+                self._now_ms = t
+                return t - start
+
+
+class FlashCrowdProcess(ArrivalProcess):
+    """Poisson baseline interrupted by one sudden high-rate window.
+
+    Arrivals are memoryless at ``rate_per_s`` everywhere except the window
+    ``[flash_at_ms, flash_at_ms + flash_duration_ms)``, where the rate jumps
+    to ``flash_multiplier`` times the baseline -- the canonical flash-crowd
+    step that a statically provisioned fleet must size for and an elastic
+    fleet can absorb by scaling out.  The window boundaries are deterministic;
+    a draw that falls past a boundary is consumed up to it and redrawn at the
+    new segment's rate, which is exact by memorylessness (the same discipline
+    as :class:`BurstyProcess`, with fixed rather than random phase edges).
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        seed: int = 0,
+        flash_at_ms: float = 1000.0,
+        flash_duration_ms: float = 500.0,
+        flash_multiplier: float = 8.0,
+    ) -> None:
+        super().__init__(rate_per_s, seed=seed)
+        if flash_at_ms < 0:
+            raise ValueError("flash_at_ms must be non-negative")
+        if flash_duration_ms <= 0:
+            raise ValueError("flash_duration_ms must be positive")
+        if flash_multiplier < 1.0:
+            raise ValueError("flash_multiplier must be >= 1")
+        self.flash_at_ms = float(flash_at_ms)
+        self.flash_duration_ms = float(flash_duration_ms)
+        self.flash_multiplier = float(flash_multiplier)
+        self._now_ms = 0.0
+
+    def rate_at(self, t_ms: float) -> float:
+        """The instantaneous arrival rate (per second) at absolute time ``t_ms``."""
+        if self.flash_at_ms <= t_ms < self.flash_at_ms + self.flash_duration_ms:
+            return self.rate_per_s * self.flash_multiplier
+        return self.rate_per_s
+
+    def _segment(self, t_ms: float):
+        """The (rate, next boundary) of the segment containing ``t_ms``."""
+        if t_ms < self.flash_at_ms:
+            return self.rate_per_s, self.flash_at_ms
+        flash_end = self.flash_at_ms + self.flash_duration_ms
+        if t_ms < flash_end:
+            return self.rate_per_s * self.flash_multiplier, flash_end
+        return self.rate_per_s, None
+
+    def inter_arrival_ms(self) -> float:
+        start = self._now_ms
+        t = start
+        while True:
+            rate, boundary = self._segment(t)
+            candidate = self.rng.expovariate(rate) * 1000.0
+            if boundary is None or t + candidate < boundary:
+                self._now_ms = t + candidate
+                return self._now_ms - start
+            # The draw fell past a window edge: consume up to the edge and
+            # redraw at the next segment's rate (exact by memorylessness).
+            t = boundary
+
+
 class TraceReplay(ArrivalProcess):
     """Deterministic replay of recorded timestamps at a target mean rate.
 
@@ -163,6 +283,8 @@ class TraceReplay(ArrivalProcess):
 ARRIVAL_PROCESSES = {
     PoissonProcess.name: PoissonProcess,
     BurstyProcess.name: BurstyProcess,
+    DiurnalProcess.name: DiurnalProcess,
+    FlashCrowdProcess.name: FlashCrowdProcess,
     TraceReplay.name: TraceReplay,
 }
 
@@ -176,8 +298,13 @@ def make_arrival_process(
     rate_per_s: float,
     seed: int = 0,
     trace_timestamps: Optional[Sequence[float]] = None,
+    **kwargs,
 ) -> ArrivalProcess:
-    """Build an arrival process by registry name."""
+    """Build an arrival process by registry name.
+
+    Extra keyword arguments are forwarded to the process constructor (e.g.
+    ``flash_at_ms`` for ``flash-crowd``, ``period_ms`` for ``diurnal``).
+    """
     key = name.lower()
     if key not in ARRIVAL_PROCESSES:
         raise KeyError(
@@ -187,7 +314,7 @@ def make_arrival_process(
         if trace_timestamps is None:
             raise ValueError("trace replay needs trace_timestamps")
         return TraceReplay(rate_per_s, trace_timestamps, seed=seed)
-    return ARRIVAL_PROCESSES[key](rate_per_s, seed=seed)
+    return ARRIVAL_PROCESSES[key](rate_per_s, seed=seed, **kwargs)
 
 
 def generate_requests(

@@ -118,3 +118,48 @@ class TestRegistry:
         router = JoinShortestQueueRouter(1)
         router.notify_complete(0, 8, service_ms=1.0)  # spurious completion
         assert router.queue_depths() == [0]
+
+
+class TestActiveSet:
+    """Autoscaler-driven masking: inactive replicas receive no new batches."""
+
+    def test_all_replicas_start_active(self):
+        router = make_router("round-robin", 3)
+        assert router.active_indices() == [0, 1, 2]
+        assert all(router.is_active(i) for i in range(3))
+
+    def test_round_robin_skips_inactive_replicas(self):
+        router = RoundRobinRouter(3)
+        router.set_active([0, 2])
+        picks = [router.route(4, 0.0) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_jsq_considers_only_the_active_set(self):
+        router = JoinShortestQueueRouter(3)
+        router.set_active([0, 1])
+        router.notify_dispatch(0, 8)
+        router.notify_dispatch(1, 4)
+        # Replica 2 is empty but inactive; 1 is the shallowest active queue.
+        assert router.route(4, 0.0) == 1
+
+    def test_least_latency_considers_only_the_active_set(self):
+        router = LeastLatencyRouter(3)
+        router.notify_complete(0, 4, service_ms=4.0)
+        router.notify_complete(1, 4, service_ms=40.0)
+        router.set_active([1, 2])
+        # Replica 0 is the fastest but inactive; 2 is unexplored (preferred).
+        assert router.route(4, 0.0) == 2
+
+    def test_reactivated_replica_keeps_its_warm_estimator(self):
+        router = LeastLatencyRouter(2)
+        router.notify_complete(1, 4, service_ms=8.0)
+        router.set_active([0])
+        router.set_active([0, 1])
+        assert router.replicas[1].per_request_ms == pytest.approx(2.0)
+
+    def test_set_active_validates_its_input(self):
+        router = RoundRobinRouter(2)
+        with pytest.raises(ValueError):
+            router.set_active([])
+        with pytest.raises(ValueError):
+            router.set_active([0, 5])

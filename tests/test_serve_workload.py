@@ -5,6 +5,8 @@ import pytest
 from repro.datasets import load
 from repro.serve import (
     BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
     PoissonProcess,
     TraceReplay,
     generate_requests,
@@ -62,6 +64,93 @@ def test_trace_replay_is_deterministic_and_rescaled():
     gaps = [y - x for x, y in zip(([0.0] + a)[:-1], a)]
     mean_gap = sum(gaps) / len(gaps)
     assert mean_gap == pytest.approx(10.0, rel=0.2)  # 100 req/s -> 10 ms gaps
+
+
+def test_diurnal_is_reproducible_from_seed():
+    a = _times(DiurnalProcess(200.0, seed=7))
+    b = _times(DiurnalProcess(200.0, seed=7))
+    c = _times(DiurnalProcess(200.0, seed=8))
+    assert a == b
+    assert a != c
+    assert a == sorted(a)
+
+
+def test_diurnal_swings_between_trough_and_peak():
+    """Arrivals concentrate around the rate curve's peak quarter-period and
+    thin out around the trough, while the long-run mean stays on target."""
+    process = DiurnalProcess(400.0, seed=0, period_ms=4000.0, trough_fraction=0.25)
+    times = _times(process, duration_ms=40000.0)
+    observed_rate = len(times) / 40.0
+    assert observed_rate == pytest.approx(400.0, rel=0.1)
+
+    def count_in_phase(center_fraction):
+        lo = center_fraction - 0.125
+        hi = center_fraction + 0.125
+        return sum(1 for t in times if lo <= (t % 4000.0) / 4000.0 < hi)
+
+    peak = count_in_phase(0.25)  # sin maximum
+    trough = count_in_phase(0.75)  # sin minimum
+    assert peak > 3 * trough
+
+
+def test_diurnal_rate_curve_matches_the_formula():
+    process = DiurnalProcess(100.0, seed=0, period_ms=1000.0, trough_fraction=0.25)
+    assert process.rate_at(0.0) == pytest.approx(100.0)
+    assert process.rate_at(250.0) == pytest.approx(175.0)  # peak: 2 - trough
+    assert process.rate_at(750.0) == pytest.approx(25.0)  # trough fraction
+    with pytest.raises(ValueError):
+        DiurnalProcess(100.0, period_ms=0.0)
+    with pytest.raises(ValueError):
+        DiurnalProcess(100.0, trough_fraction=1.5)
+
+
+def test_flash_crowd_is_reproducible_from_seed():
+    kwargs = dict(flash_at_ms=500.0, flash_duration_ms=300.0, flash_multiplier=6.0)
+    a = _times(FlashCrowdProcess(200.0, seed=5, **kwargs))
+    b = _times(FlashCrowdProcess(200.0, seed=5, **kwargs))
+    c = _times(FlashCrowdProcess(200.0, seed=6, **kwargs))
+    assert a == b
+    assert a != c
+    assert a == sorted(a)
+
+
+def test_flash_crowd_rate_jumps_only_inside_the_window():
+    process = FlashCrowdProcess(
+        300.0, seed=1, flash_at_ms=1000.0, flash_duration_ms=500.0, flash_multiplier=8.0
+    )
+    assert process.rate_at(999.0) == pytest.approx(300.0)
+    assert process.rate_at(1000.0) == pytest.approx(2400.0)
+    assert process.rate_at(1499.0) == pytest.approx(2400.0)
+    assert process.rate_at(1500.0) == pytest.approx(300.0)
+    times = _times(process, duration_ms=2000.0)
+    inside = [t for t in times if 1000.0 <= t < 1500.0]
+    outside = [t for t in times if t < 1000.0 or t >= 1500.0]
+    # The 500 ms window at 8x should out-arrive the 1500 ms baseline remainder.
+    assert len(inside) > len(outside)
+    inside_rate = len(inside) / 0.5
+    assert inside_rate == pytest.approx(2400.0, rel=0.25)
+
+
+def test_flash_crowd_validates_its_window():
+    with pytest.raises(ValueError):
+        FlashCrowdProcess(100.0, flash_at_ms=-1.0)
+    with pytest.raises(ValueError):
+        FlashCrowdProcess(100.0, flash_duration_ms=0.0)
+    with pytest.raises(ValueError):
+        FlashCrowdProcess(100.0, flash_multiplier=0.5)
+
+
+def test_make_arrival_process_forwards_process_kwargs():
+    process = make_arrival_process(
+        "flash-crowd", 100.0, seed=2, flash_at_ms=10.0, flash_multiplier=3.0
+    )
+    assert isinstance(process, FlashCrowdProcess)
+    assert process.flash_multiplier == 3.0
+    diurnal = make_arrival_process("diurnal", 100.0, period_ms=2500.0)
+    assert isinstance(diurnal, DiurnalProcess)
+    assert diurnal.period_ms == 2500.0
+    with pytest.raises(TypeError):
+        make_arrival_process("poisson", 100.0, flash_at_ms=10.0)
 
 
 def test_make_arrival_process_registry():
