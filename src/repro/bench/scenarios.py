@@ -123,7 +123,7 @@ def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False,
         events_per_request=1,
         slo_ms=50.0,
     )
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     server = InferenceServer(model, policy, overlap=overlap)
     label = "bench-serving-" + ("overlap" if overlap else "blocking")
     if cached:
@@ -159,7 +159,7 @@ def _scaling(seed: int, quick: bool, spec: str, num_gpus: int) -> Machine:
         events_per_request=2,
         slo_ms=50.0,
     )
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     server = ScaleOutServer(replicas, policy, make_router("round-robin", len(replicas)))
     server.serve(requests, label=f"bench-scaling-{num_gpus}gpu", arrival_name="poisson")
     return machine
@@ -218,7 +218,7 @@ def _speedup_serving_run(seed: int, quick: bool, backend: str):
         events_per_request=1,
         slo_ms=100.0,
     )
-    policy = make_policy("timeout", max_batch_size=64, batch_timeout_ms=4.0, slo_ms=100.0)
+    policy = make_policy("timeout", max_batch_size=64, batch_timeout_ms=4.0)
     server = InferenceServer(model, policy, overlap=True)
     report = server.serve(
         requests, label=f"bench-shape-speedup-{backend}", arrival_name="poisson"
@@ -293,7 +293,7 @@ def _cluster_serving_run(seed: int, quick: bool, backend: str, autoscale: bool):
         events_per_request=2,
         slo_ms=50.0,
     )
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     autoscaler = None
     if autoscale:
         autoscaler = Autoscaler(AutoscaleConfig(

@@ -399,7 +399,10 @@ def merge_cache_stats(reports: Sequence[Optional[Dict[str, Any]]]) -> Optional[D
 
     Counter keys are summed, ``hit_rate`` is recomputed from the merged
     totals, and configuration keys (policy, capacity, staleness) are taken
-    from the first non-empty report.  Returns ``None`` when nothing cached.
+    from the first non-empty report.  ``bytes_peak`` takes the max across
+    replicas (per-replica peaks happen at different times, so a sum is not
+    a peak of anything); the summed footprint bound survives as
+    ``bytes_peak_sum``.  Returns ``None`` when nothing cached.
     """
     live = [report for report in reports if report]
     if not live:
@@ -421,11 +424,14 @@ def merge_cache_stats(reports: Sequence[Optional[Dict[str, Any]]]) -> Optional[D
         "stale_evictions",
         "invalidations",
         "bytes_current",
-        "bytes_peak",
         "entries",
     )
     for key in counters:
         merged[key] = sum(int(report.get(key, 0)) for report in live)
+    merged["bytes_peak"] = max(int(report.get("bytes_peak", 0)) for report in live)
+    merged["bytes_peak_sum"] = sum(
+        int(report.get("bytes_peak_sum") or report.get("bytes_peak", 0)) for report in live
+    )
     merged["hit_rate"] = (
         round(merged["hits"] / merged["lookups"], 4) if merged["lookups"] else 0.0
     )

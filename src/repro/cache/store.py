@@ -73,6 +73,11 @@ class CacheStats:
     invalidations: int = 0
     bytes_current: int = 0
     bytes_peak: int = 0
+    #: Sum of the per-store peaks folded into this view (0 until a merge).
+    #: Per-store peaks happen at different times, so their sum is a memory
+    #: *footprint* bound, not a peak of the merged store -- ``bytes_peak``
+    #: stays the max, this keeps the sum for telemetry that wants it.
+    bytes_peak_sum: int = 0
     entries: int = 0
 
     @property
@@ -92,11 +97,24 @@ class CacheStats:
             "invalidations": self.invalidations,
             "bytes_current": self.bytes_current,
             "bytes_peak": self.bytes_peak,
+            "bytes_peak_sum": self.peak_sum,
             "entries": self.entries,
         }
 
+    @property
+    def peak_sum(self) -> int:
+        """Summed per-store peaks: ``bytes_peak`` itself for a single store."""
+        return self.bytes_peak_sum if self.bytes_peak_sum else self.bytes_peak
+
     def merge(self, other: "CacheStats") -> "CacheStats":
-        """Accumulate ``other`` into this view (for multi-store/replica reports)."""
+        """Accumulate ``other`` into this view (for multi-store/replica reports).
+
+        Counters sum; ``bytes_peak`` takes the max -- the per-store peaks
+        happened at different times, so a sum would overstate the peak of
+        the merged store.  The sum survives as ``bytes_peak_sum`` (total
+        footprint bound across stores).
+        """
+        merged_peak_sum = self.peak_sum + other.peak_sum
         self.lookups += other.lookups
         self.hits += other.hits
         self.misses += other.misses
@@ -106,7 +124,8 @@ class CacheStats:
         self.stale_evictions += other.stale_evictions
         self.invalidations += other.invalidations
         self.bytes_current += other.bytes_current
-        self.bytes_peak += other.bytes_peak
+        self.bytes_peak = max(self.bytes_peak, other.bytes_peak)
+        self.bytes_peak_sum = merged_peak_sum
         self.entries += other.entries
         return self
 

@@ -42,6 +42,7 @@ from .cache import available_eviction_policies, make_model_cache
 from .core import Profiler, analyze_profile, compute_breakdown
 from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
+from .fuzz import INVARIANTS, fuzz as run_fuzz, load_reproducer, replay, save_reproducer
 from .graph.partition import available_partitioners, make_partition
 from .hw import Cluster, Machine, available_cluster_specs, available_machine_specs
 from .models import available_models, build_model
@@ -179,13 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--policy", default="timeout", choices=available_policies(),
                      help="batch scheduling policy")
     srv.add_argument("--slo-ms", type=float, default=50.0,
-                     help="per-request latency objective in simulated ms")
+                     help="per-request latency objective in simulated ms "
+                          "(stamps every request's deadline; also configures "
+                          "the slo policy)")
     srv.add_argument("--duration", type=float, default=1000.0,
                      help="arrival window in simulated ms (queued requests drain after)")
     srv.add_argument("--max-batch-size", type=int, default=8,
                      help="dynamic batching cap in requests")
-    srv.add_argument("--batch-timeout-ms", type=float, default=4.0,
-                     help="max wait before a partial batch is dispatched")
+    srv.add_argument("--batch-timeout-ms", type=float, default=None,
+                     help="max wait before a partial batch is dispatched "
+                          "(timeout/slo policies only, default 4; an error "
+                          "with --policy fifo, which never waits)")
     srv.add_argument("--events-per-request", type=int, default=1,
                      help="event-stream slice size each request carries")
     srv.add_argument("--seed", type=int, default=0,
@@ -250,6 +255,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="model config override, e.g. --param num_neighbors=20 (repeatable)",
     )
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="fuzz the simulator's cross-tier invariants",
+        description="Run seeded random operator programs over random "
+                    "configurations from the full cross-product (machine "
+                    "topologies x cluster NIC presets x cache policy/"
+                    "capacity/staleness x serving placement/router/policy x "
+                    "numeric-vs-shape backend), checking every global "
+                    "contract after each case.  The first violation is "
+                    "greedily shrunk to a minimal seed + JSON reproducer "
+                    "and written to --out; exit status 1 flags the finding.",
+    )
+    fz.add_argument("--seed", type=int, default=0,
+                    help="campaign seed (case i replays as seed '<seed>:<i>')")
+    fz.add_argument("--budget", type=int, default=100,
+                    help="number of independent cases to run")
+    fz.add_argument("--check", action="append", default=[], metavar="INVARIANT",
+                    choices=sorted(INVARIANTS) + ["all"],
+                    help="invariant to enforce (repeatable; default all): "
+                         f"{', '.join(sorted(INVARIANTS))}")
+    fz.add_argument("--num-ops", type=int, default=40,
+                    help="ops per program (a serving episode rides on top "
+                         "when the drawn config has one)")
+    fz.add_argument("--fault-rate", type=float, default=0.0,
+                    help="probability of planting a clock-rewind fault per "
+                         "op slot (harness self-test; the monotone-clock "
+                         "invariant must catch and shrink it)")
+    fz.add_argument("--out", default="FUZZ_REPRO.json",
+                    help="where to write the shrunken reproducer on failure")
+    fz.add_argument("--replay", default=None, metavar="REPRO_JSON",
+                    help="re-execute a reproducer file instead of fuzzing "
+                         "(exit 1 if its invariant still fails)")
+    fz.add_argument("--list-invariants", action="store_true",
+                    help="print the available invariants and exit")
+    fz.add_argument("--progress", action=argparse.BooleanOptionalAction, default=False,
+                    help="print one line per case as the campaign runs")
 
     bench = sub.add_parser(
         "bench",
@@ -382,6 +424,26 @@ def _profile_overlapped(args, machine, model, profiler) -> int:
     return 0
 
 
+def _make_cli_policy(args: argparse.Namespace):
+    """Build the scheduler policy from serve-command flags.
+
+    Explicit flags are forwarded verbatim so :func:`make_policy` rejects
+    inapplicable overrides (``--policy fifo --batch-timeout-ms 20`` is a
+    contradiction, not a silent no-op).  ``--slo-ms`` doubles as the
+    request-deadline stamp for every policy, so it only reaches the policy
+    constructor when the slo policy consumes it.
+    """
+    batch_timeout_ms = args.batch_timeout_ms
+    if batch_timeout_ms is None and args.policy in ("timeout", "slo"):
+        batch_timeout_ms = 4.0
+    return make_policy(
+        args.policy,
+        max_batch_size=args.max_batch_size,
+        batch_timeout_ms=batch_timeout_ms,
+        slo_ms=args.slo_ms if args.policy == "slo" else None,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
     if args.topology in available_cluster_specs():
@@ -465,10 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stream, arrivals, duration_ms=args.duration,
             events_per_request=args.events_per_request, slo_ms=args.slo_ms,
         )
-        policy = make_policy(
-            args.policy, max_batch_size=args.max_batch_size,
-            batch_timeout_ms=args.batch_timeout_ms, slo_ms=args.slo_ms,
-        )
+        policy = _make_cli_policy(args)
         label = f"{args.model}-serve-{args.placement}"
         if args.placement == "replicate":
             router = make_router(args.router, len(models))
@@ -552,10 +611,7 @@ def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> i
             stream, arrivals, duration_ms=args.duration,
             events_per_request=args.events_per_request, slo_ms=args.slo_ms,
         )
-        policy = make_policy(
-            args.policy, max_batch_size=args.max_batch_size,
-            batch_timeout_ms=args.batch_timeout_ms, slo_ms=args.slo_ms,
-        )
+        policy = _make_cli_policy(args)
         autoscaler = None
         if args.autoscale:
             config = AutoscaleConfig(
@@ -577,6 +633,54 @@ def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> i
     print(report.format_table())
     if not requests:
         print("(the workload offered no requests; raise --rate or --duration)")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.list_invariants:
+        width = max(len(name) for name in INVARIANTS)
+        for name in sorted(INVARIANTS):
+            print(f"{name:<{width}}  {INVARIANTS[name]}")
+        return 0
+    if args.replay is not None:
+        try:
+            reproducer = load_reproducer(args.replay)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load reproducer {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        checks = args.check or None
+        try:
+            replay(reproducer, checks=checks)
+        except AssertionError as violation:
+            print(f"reproducer still fails: {violation}", file=sys.stderr)
+            return 1
+        invariant = reproducer.get("invariant", "?")
+        print(f"reproducer replays clean ({invariant} holds)")
+        return 0
+    if args.budget < 1:
+        print("error: --budget must be positive", file=sys.stderr)
+        return 2
+    if args.num_ops < 1:
+        print("error: --num-ops must be positive", file=sys.stderr)
+        return 2
+    on_case = None
+    if args.progress:
+        def on_case(case: int, config) -> None:
+            print(f"  case {case}: {config.describe()}")
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        checks=args.check or None,
+        num_ops=args.num_ops,
+        fault_rate=args.fault_rate,
+        on_case=on_case,
+    )
+    print(report.summary())
+    if report.failure is not None:
+        save_reproducer(args.out, report.failure.reproducer)
+        print(f"wrote reproducer to {args.out}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -654,6 +758,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "bench":
         return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")

@@ -32,6 +32,7 @@ from ..serve import (
     AutoscaleConfig,
     Autoscaler,
     ClusterServer,
+    applicable_policy_overrides,
     build_cluster_replicas,
     generate_requests,
     make_arrival_process,
@@ -138,8 +139,9 @@ def run(
         return make_policy(
             policy,
             max_batch_size=max_batch_size,
-            batch_timeout_ms=batch_timeout_ms,
-            slo_ms=slo_ms,
+            **applicable_policy_overrides(
+                policy, batch_timeout_ms=batch_timeout_ms, slo_ms=slo_ms
+            ),
         )
 
     result = ExperimentResult(

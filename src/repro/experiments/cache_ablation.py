@@ -30,7 +30,13 @@ from typing import Any, Dict, Optional, Sequence
 
 from ..cache import make_model_cache
 from ..datasets import load as load_dataset
-from ..serve import InferenceServer, generate_requests, make_arrival_process, make_policy
+from ..serve import (
+    InferenceServer,
+    applicable_policy_overrides,
+    generate_requests,
+    make_arrival_process,
+    make_policy,
+)
 from .runner import ExperimentResult
 from .serving import _build_model, _calibrate_per_request_ms
 
@@ -63,8 +69,9 @@ def _serve_once(
     policy = make_policy(
         policy_name,
         max_batch_size=max_batch_size,
-        batch_timeout_ms=batch_timeout_ms,
-        slo_ms=slo_ms,
+        **applicable_policy_overrides(
+            policy_name, batch_timeout_ms=batch_timeout_ms, slo_ms=slo_ms
+        ),
     )
     server = InferenceServer(model, policy, overlap=True)
     # Warm pass: same request sequence, outside the measured window.  It

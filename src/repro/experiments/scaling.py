@@ -31,6 +31,7 @@ from ..serve import (
     InferenceServer,
     ScaleOutServer,
     ShardedModel,
+    applicable_policy_overrides,
     build_replicas,
     generate_requests,
     make_arrival_process,
@@ -170,8 +171,9 @@ def run(
             scheduler = make_policy(
                 policy,
                 max_batch_size=max_batch_size,
-                batch_timeout_ms=batch_timeout_ms,
-                slo_ms=slo_ms,
+                **applicable_policy_overrides(
+                    policy, batch_timeout_ms=batch_timeout_ms, slo_ms=slo_ms
+                ),
             )
             label = f"tgat-{spec}-{placement}-u{utilization:g}"
             if placement == "replicate":

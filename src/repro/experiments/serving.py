@@ -26,7 +26,13 @@ from typing import Sequence
 
 from ..datasets import load as load_dataset
 from ..models.tgat import TGAT, TGATConfig
-from ..serve import InferenceServer, generate_requests, make_arrival_process, make_policy
+from ..serve import (
+    InferenceServer,
+    applicable_policy_overrides,
+    generate_requests,
+    make_arrival_process,
+    make_policy,
+)
 from .runner import ExperimentResult, new_machine
 
 #: Execution modes the sweep compares.
@@ -136,8 +142,9 @@ def run(
                 policy = make_policy(
                     policy_name,
                     max_batch_size=max_batch_size,
-                    batch_timeout_ms=batch_timeout_ms,
-                    slo_ms=slo_ms,
+                    **applicable_policy_overrides(
+                        policy_name, batch_timeout_ms=batch_timeout_ms, slo_ms=slo_ms
+                    ),
                 )
                 server = InferenceServer(model, policy, overlap=mode == "overlap")
                 report = server.serve(

@@ -1,0 +1,401 @@
+"""The named global contracts every fuzz case is checked against.
+
+Three families:
+
+* **Online** checks run inside the executor after every op (monotone
+  host/node clocks, non-negative memory pools, drain-after-sync at every
+  barrier) -- see :mod:`repro.fuzz.program`.
+* **Structural** checks run once after the program finishes: stream
+  timelines hold disjoint, sorted, non-negative intervals; a final barrier
+  really drains everything; freeing every live allocation balances the
+  pools back to zero; cache counters conserve (hits + misses = lookups,
+  occupancy = live entry bytes, occupancy <= capacity <= peak bookkeeping);
+  serving telemetry conserves (offered = completed, latency splits add up).
+* **Differential** checks re-run the same op list under a paired config and
+  demand event-log identity: ``shape`` vs ``numeric`` backends, a 1-node
+  cluster vs the bare node machine, and a staleness-0 cache vs the
+  never-store reference proxy.
+
+``check_case`` is the single entry point: it runs a program under its
+config and applies every applicable invariant from ``checks``, raising
+:class:`~repro.fuzz.program.InvariantViolation` on the first breach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..hw.machine import Machine
+from .config import FuzzConfig
+from .program import Execution, InvariantViolation, Op, signature
+
+#: Every named invariant ``--check`` accepts, with one-line meanings.
+INVARIANTS = {
+    "monotone-clock": "host and node clocks never move backwards",
+    "memory-pools": "device memory pools never go negative and balance to zero",
+    "stream-intervals": "every stream timeline is disjoint, sorted, non-negative",
+    "drain-after-sync": "after a barrier nothing is still in flight",
+    "cache-conservation": "cache counters and occupancy bookkeeping conserve",
+    "telemetry-conservation": "serving reports conserve requests and latency splits",
+    "backend-equivalence": "shape and numeric backends emit identical event logs",
+    "single-node-cluster": "a 1-node cluster is event-identical to the bare machine",
+    "staleness-zero": "a staleness-0 cache is byte-identical to not storing at all",
+    "batched-scalar-cache": "batched cache ops are byte-identical to their scalar forms",
+}
+
+
+def resolve_checks(names: Optional[Iterable[str]]) -> Set[str]:
+    """Normalize a ``--check`` selection (``None``/``"all"`` = everything)."""
+    if names is None:
+        return set(INVARIANTS)
+    selected = set()
+    for name in names:
+        if name == "all":
+            return set(INVARIANTS)
+        if name not in INVARIANTS:
+            raise KeyError(
+                f"unknown invariant {name!r}; available: "
+                f"{', '.join(sorted(INVARIANTS))} (or 'all')"
+            )
+        selected.add(name)
+    return selected
+
+
+# -- structural finals ------------------------------------------------------
+
+
+def _check_stream_intervals(machines: List[Machine]) -> None:
+    for machine in machines:
+        resources = list(machine.devices) + list(machine.links)
+        for resource in resources:
+            for stream in resource.streams:
+                previous_end = None
+                for interval in stream.timeline:
+                    if interval.duration_ms < 0:
+                        raise InvariantViolation(
+                            "stream-intervals",
+                            f"negative duration on {resource.name}:{stream.name}",
+                        )
+                    if previous_end is not None and interval.start_ms < previous_end - 1e-12:
+                        raise InvariantViolation(
+                            "stream-intervals",
+                            f"overlapping intervals on {resource.name}:{stream.name} "
+                            f"({interval.start_ms} < {previous_end})",
+                        )
+                    previous_end = interval.end_ms
+        for event in machine.events:
+            if event.end_ms < event.start_ms:
+                raise InvariantViolation(
+                    "stream-intervals",
+                    f"event {event.name!r} ends before it starts "
+                    f"({event.end_ms} < {event.start_ms})",
+                )
+
+
+def _check_final_drain(execution: Execution) -> None:
+    for index, node in enumerate(execution.nodes):
+        node.synchronize()
+        execution._check_drained(node, f"final synchronize (node {index})")
+    if execution.cluster is not None:
+        execution.cluster.synchronize()
+        now = execution.cluster.time_ms
+        for link in execution.cluster.nic_links:
+            if link.free_at > now + 1e-9:
+                raise InvariantViolation(
+                    "drain-after-sync",
+                    f"final barrier: NIC {link.name} busy until {link.free_at} "
+                    f"past the frontier at {now}",
+                )
+
+
+def _check_memory_balance(execution: Execution) -> None:
+    # Release everything the program still holds; pools must return to zero.
+    for machine, device, alloc_id in execution.live_allocs.values():
+        machine.free(device, alloc_id)
+    execution.live_allocs.clear()
+    if execution.cache is not None:
+        execution.cache.flush()
+        execution.cache.flush_charges()
+    for index, node in enumerate(execution.nodes):
+        for device in node.devices:
+            if device.memory.current_bytes != 0:
+                raise InvariantViolation(
+                    "memory-pools",
+                    f"node {index} {device.name} holds "
+                    f"{device.memory.current_bytes} bytes after every free",
+                )
+
+
+def _check_cache_conservation(execution: Execution) -> None:
+    cache = execution.cache
+    if cache is None or not hasattr(cache, "stats"):
+        return
+    stats = cache.stats
+    if stats.hits + stats.misses != stats.lookups:
+        raise InvariantViolation(
+            "cache-conservation",
+            f"hits ({stats.hits}) + misses ({stats.misses}) != "
+            f"lookups ({stats.lookups})",
+        )
+    if stats.stale_rejects > stats.misses:
+        raise InvariantViolation(
+            "cache-conservation",
+            f"stale_rejects ({stats.stale_rejects}) exceed misses ({stats.misses})",
+        )
+    live_bytes = sum(entry.nbytes for entry in cache._entries.values())
+    if stats.bytes_current != live_bytes:
+        raise InvariantViolation(
+            "cache-conservation",
+            f"bytes_current ({stats.bytes_current}) != live entry bytes ({live_bytes})",
+        )
+    if stats.bytes_current > cache.capacity_bytes:
+        raise InvariantViolation(
+            "cache-conservation",
+            f"occupancy ({stats.bytes_current}) exceeds capacity "
+            f"({cache.capacity_bytes})",
+        )
+    if stats.bytes_peak < stats.bytes_current:
+        raise InvariantViolation(
+            "cache-conservation",
+            f"bytes_peak ({stats.bytes_peak}) below bytes_current "
+            f"({stats.bytes_current})",
+        )
+    if stats.entries != len(cache._entries):
+        raise InvariantViolation(
+            "cache-conservation",
+            f"entries counter ({stats.entries}) != live entries ({len(cache._entries)})",
+        )
+
+
+def _check_telemetry(execution: Execution) -> None:
+    report = execution.serve_report
+    if report is None:
+        return
+    if report.offered != report.completed:
+        raise InvariantViolation(
+            "telemetry-conservation",
+            f"offered ({report.offered}) != completed ({report.completed}); "
+            "the server dropped requests without accounting for them",
+        )
+    if len(report.requests) != report.completed:
+        raise InvariantViolation(
+            "telemetry-conservation",
+            f"report carries {len(report.requests)} requests but counts "
+            f"{report.completed} completed",
+        )
+    for request in report.requests:
+        if not request.is_completed:
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"request {request.request_id} in the completed list was "
+                "never completed",
+            )
+        if request.dispatched_ms is None:
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"request {request.request_id} completed without dispatch",
+            )
+        if request.queue_ms < -1e-9 or request.service_ms < -1e-9:
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"request {request.request_id} has a negative latency split "
+                f"(queue {request.queue_ms}, service {request.service_ms})",
+            )
+        if abs(request.total_ms - (request.queue_ms + request.service_ms)) > 1e-6:
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"request {request.request_id}: queue + service != total",
+            )
+        if not request.batch_size or request.batch_size < 1:
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"request {request.request_id} rode in a batch of "
+                f"{request.batch_size}",
+            )
+    cache = report.cache
+    if cache is not None:
+        if cache.get("hits", 0) + cache.get("misses", 0) != cache.get("lookups", 0):
+            raise InvariantViolation(
+                "telemetry-conservation",
+                f"serving cache telemetry: hits ({cache.get('hits')}) + misses "
+                f"({cache.get('misses')}) != lookups ({cache.get('lookups')})",
+            )
+
+
+# -- differentials ----------------------------------------------------------
+
+
+def _signatures(execution: Execution) -> List[List]:
+    sigs = [signature(node) for node in execution.nodes]
+    if execution.serve_machine is not None:
+        sigs.append(signature(execution.serve_machine))
+    return sigs
+
+
+def _compare(invariant: str, base: List[List], paired: List[List], what: str) -> None:
+    if len(base) != len(paired):
+        raise InvariantViolation(
+            invariant, f"{what}: machine counts differ ({len(base)} vs {len(paired)})"
+        )
+    for index, (a, b) in enumerate(zip(base, paired)):
+        if a == b:
+            continue
+        if len(a) != len(b):
+            raise InvariantViolation(
+                invariant,
+                f"{what}: machine {index} event counts differ "
+                f"({len(a)} vs {len(b)})",
+            )
+        for position, (ea, eb) in enumerate(zip(a, b)):
+            if ea != eb:
+                raise InvariantViolation(
+                    invariant,
+                    f"{what}: machine {index} event {position} differs: "
+                    f"{ea} vs {eb}",
+                )
+
+
+def _structural_ops(ops: List[Op]) -> List[Op]:
+    """Drop the fault-injection ops before a differential re-run.
+
+    A planted ``rewind`` breaks the clock on purpose; the differential
+    invariants compare *correct* executions, so replaying the fault twice
+    would only mask the monotone-clock finding it exists to trigger.
+    Replaced with ``noop`` (not filtered) to keep op indices stable.
+    """
+    return [op if op["op"] != "rewind" else {"op": "noop"} for op in ops]
+
+
+def _check_backend_equivalence(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    flipped = FuzzConfig.from_dict(base.config.as_dict())
+    flipped.backend = "shape" if config.backend == "numeric" else "numeric"
+    paired = Execution(flipped, checks=set()).run(_structural_ops(ops))
+    _compare(
+        "backend-equivalence",
+        _signatures(base),
+        _signatures(paired),
+        f"{config.backend} vs {flipped.backend}",
+    )
+    if base.serve_report is not None and paired.serve_report is not None:
+        base_times = [r.completed_ms for r in base.serve_report.requests]
+        paired_times = [r.completed_ms for r in paired.serve_report.requests]
+        if base_times != paired_times:
+            raise InvariantViolation(
+                "backend-equivalence",
+                "serving completion times differ between backends",
+            )
+
+
+def _check_single_node_cluster(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    if base.cluster is None or base.cluster.num_nodes != 1:
+        return
+    bare = FuzzConfig.from_dict(config.as_dict())
+    bare.cluster = None
+    bare.topology = base.cluster.spec.node.name
+    paired = Execution(bare, checks=set())
+    # Same-node NIC "transfers" must delegate to the plain machine's
+    # non-blocking transfer; map them explicitly for the bare run.
+    mapped: List[Op] = []
+    for op in _structural_ops(ops):
+        if op["op"] == "nic_transfer":
+            # Same-node delegation keeps the cluster API's default label.
+            mapped.append({
+                "op": "transfer", "node": 0, "src": op["src"], "dst": op["dst"],
+                "nbytes": op["nbytes"], "non_blocking": True, "name": "nic_memcpy",
+            })
+        elif op["op"] == "node_sync":
+            # Aligning the only node to its own frontier is a no-op; keep
+            # the slot so op indices (kernel names) stay aligned.
+            mapped.append({"op": "noop"})
+        elif op["op"] == "cluster_sync":
+            # On one node the barrier is the machine's own synchronize
+            # (same event name as Cluster.synchronize emits on the node).
+            mapped.append({"op": "sync", "node": 0, "name": "cluster_sync"})
+        else:
+            mapped.append(op)
+    paired.run(mapped)
+    _compare(
+        "single-node-cluster",
+        [signature(base.nodes[0])],
+        [signature(paired.nodes[0])],
+        f"cluster {config.cluster} vs bare {bare.topology}",
+    )
+
+
+def _check_batched_scalar(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    if not config.cache:
+        return
+    paired = Execution(config, checks=set(), scalar_cache=True).run(_structural_ops(ops))
+    _compare(
+        "batched-scalar-cache",
+        [signature(node) for node in base.nodes],
+        [signature(node) for node in paired.nodes],
+        "batched probe_many/put_many vs scalar probe/put",
+    )
+    if hasattr(base.cache, "stats") and base.cache.stats.as_dict() != paired.cache.stats.as_dict():
+        raise InvariantViolation(
+            "batched-scalar-cache",
+            f"final stats diverge: batched {base.cache.stats.as_dict()} "
+            f"vs scalar {paired.cache.stats.as_dict()}",
+        )
+
+
+def _check_staleness_zero(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    if not config.cache or config.cache["staleness_ms"] != 0.0:
+        return
+    paired = Execution(config, checks=set(), null_cache=True).run(_structural_ops(ops))
+    _compare(
+        "staleness-zero",
+        [signature(node) for node in base.nodes],
+        [signature(node) for node in paired.nodes],
+        "staleness-0 cache vs never-store reference",
+    )
+    stats = base.cache.stats
+    if stats.hits or stats.inserts or stats.entries or stats.bytes_peak:
+        raise InvariantViolation(
+            "staleness-zero",
+            f"staleness-0 cache stored state: hits={stats.hits} "
+            f"inserts={stats.inserts} entries={stats.entries} "
+            f"bytes_peak={stats.bytes_peak}",
+        )
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def check_case(
+    config: FuzzConfig,
+    ops: List[Op],
+    checks: Optional[Iterable[str]] = None,
+) -> Execution:
+    """Run one program and enforce every applicable selected invariant.
+
+    Returns the finished base execution; raises
+    :class:`~repro.fuzz.program.InvariantViolation` on the first breach.
+    Ordering matters: the differentials re-run the program *before* the
+    structural finals mutate the base execution (final frees, cache flush).
+    """
+    selected = resolve_checks(checks)
+    base = Execution(config, checks=selected).run(ops)
+    if "backend-equivalence" in selected:
+        _check_backend_equivalence(config, ops, base)
+    if "single-node-cluster" in selected:
+        _check_single_node_cluster(config, ops, base)
+    if "batched-scalar-cache" in selected:
+        _check_batched_scalar(config, ops, base)
+    if "staleness-zero" in selected:
+        _check_staleness_zero(config, ops, base)
+    machines = list(base.nodes)
+    if base.serve_machine is not None:
+        machines.append(base.serve_machine)
+    if "stream-intervals" in selected:
+        _check_stream_intervals(machines)
+    if "telemetry-conservation" in selected:
+        _check_telemetry(base)
+    if "cache-conservation" in selected:
+        _check_cache_conservation(base)
+    if "drain-after-sync" in selected:
+        _check_final_drain(base)
+    if "memory-pools" in selected:
+        _check_memory_balance(base)
+    return base

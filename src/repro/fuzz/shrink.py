@@ -1,0 +1,140 @@
+"""Greedy minimization of failing fuzz cases.
+
+Given a (config, ops) pair that trips an invariant, the shrinker removes as
+much as it can while the *same* invariant keeps tripping:
+
+1. op-list passes with exponentially shrinking chunk sizes (classic ddmin
+   schedule: drop halves, then quarters, ... then single ops);
+2. config simplification (drop the cluster, drop the cache, drop the
+   serving episode, fall back to the numeric backend and the smallest
+   topology) -- each candidate kept only if the failure survives;
+3. one final single-op sweep, since a simpler config often unlocks further
+   op removals.
+
+Every candidate is judged by re-running the full check (base execution +
+differentials + finals), so a shrunken case is a true reproducer, not a
+syntactic fragment.  The result is emitted as a plain-JSON dict --
+``{"invariant", "error", "config", "ops", "seed"}`` -- that
+:func:`repro.fuzz.runner.replay` can execute verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .config import FuzzConfig
+from .invariants import check_case
+from .program import InvariantViolation, Op
+
+REPRODUCER_VERSION = 1
+
+
+def _fails_same(
+    config: FuzzConfig, ops: List[Op], checks: Optional[Iterable[str]], invariant: str
+) -> Optional[InvariantViolation]:
+    """The violation if this candidate still trips the same invariant."""
+    try:
+        check_case(config, ops, checks)
+    except InvariantViolation as violation:
+        if violation.invariant == invariant:
+            return violation
+        return None
+    except Exception:
+        # A different blow-up is a different bug; keep the case we have.
+        return None
+    return None
+
+
+def _shrink_ops(
+    config: FuzzConfig,
+    ops: List[Op],
+    checks: Optional[Iterable[str]],
+    invariant: str,
+) -> List[Op]:
+    chunk = max(len(ops) // 2, 1)
+    while chunk >= 1:
+        index = 0
+        while index < len(ops):
+            candidate = ops[:index] + ops[index + chunk:]
+            if candidate and _fails_same(config, candidate, checks, invariant):
+                ops = candidate
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(chunk // 2, 1)
+    return ops
+
+
+def _shrink_config(
+    config: FuzzConfig,
+    ops: List[Op],
+    checks: Optional[Iterable[str]],
+    invariant: str,
+) -> FuzzConfig:
+    def try_variant(**overrides) -> Optional[FuzzConfig]:
+        data = config.as_dict()
+        data.update(overrides)
+        candidate = FuzzConfig.from_dict(data)
+        if _fails_same(candidate, ops, checks, invariant):
+            return candidate
+        return None
+
+    for overrides in (
+        {"serving": None},
+        {"cluster": None},
+        {"cache": None},
+        {"backend": "numeric"},
+        {"topology": "1xA6000"},
+    ):
+        simpler = try_variant(**overrides)
+        if simpler is not None:
+            config = simpler
+    return config
+
+
+def shrink(
+    config: FuzzConfig,
+    ops: List[Op],
+    violation: InvariantViolation,
+    checks: Optional[Iterable[str]] = None,
+) -> Tuple[FuzzConfig, List[Op], InvariantViolation]:
+    """Minimize a failing case; returns (config, ops, final violation)."""
+    invariant = violation.invariant
+    ops = _shrink_ops(config, list(ops), checks, invariant)
+    config = _shrink_config(config, ops, checks, invariant)
+    ops = _shrink_ops(config, ops, checks, invariant)
+    final = _fails_same(config, ops, checks, invariant)
+    return config, ops, final if final is not None else violation
+
+
+# -- reproducer files -------------------------------------------------------
+
+
+def reproducer_dict(
+    config: FuzzConfig,
+    ops: List[Op],
+    violation: InvariantViolation,
+    seed: Any = None,
+) -> Dict[str, Any]:
+    """The JSON document a shrunken failure is checked in as."""
+    return {
+        "version": REPRODUCER_VERSION,
+        "seed": seed,
+        "invariant": violation.invariant,
+        "error": violation.message,
+        "config": config.as_dict(),
+        "ops": ops,
+    }
+
+
+def save_reproducer(path: str, reproducer: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(reproducer, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_reproducer(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

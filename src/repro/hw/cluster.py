@@ -141,6 +141,27 @@ class Cluster:
             self.sync_node(index, target)
         return target
 
+    def synchronize(self, name: str = "cluster_sync") -> float:
+        """Cluster-wide barrier: drain every node, every NIC, align clocks.
+
+        :meth:`sync_all` only *aligns clocks* to a target instant; payloads
+        still in flight on a NIC link (issued non-blocking, so no node's
+        host ever waited on them) stay in flight right through it, which
+        makes it unsound as a barrier.  This is the real barrier: every
+        node joins all of its own streams and links, the frontier is pushed
+        past every NIC link's busy horizon, and all node clocks land on it.
+        Afterwards nothing anywhere in the cluster is scheduled past the
+        returned barrier time.  (Found by the fuzz harness: see
+        ``tests/fuzz_corpus/nic_barrier_drain.json``.)
+        """
+        for node in self.nodes:
+            node.synchronize(name=name)
+        target = max(
+            self.time_ms,
+            max((link.free_at for link in self._nic_links.values()), default=0.0),
+        )
+        return self.sync_all(target)
+
     # -- event totals ----------------------------------------------------
 
     @property

@@ -41,6 +41,7 @@ from .policy import (
     ServiceTimeEstimator,
     SLOAwarePolicy,
     TimeoutBatchingPolicy,
+    applicable_policy_overrides,
     available_policies,
     make_policy,
 )
@@ -101,6 +102,7 @@ __all__ = [
     "ShardedModel",
     "TimeoutBatchingPolicy",
     "TraceReplay",
+    "applicable_policy_overrides",
     "available_arrivals",
     "available_policies",
     "available_routers",

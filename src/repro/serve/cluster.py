@@ -167,11 +167,23 @@ class ClusterServer:
                     else:
                         with self.cluster.nodes[node_index].activate():
                             replica.warm_up(batch)
-                self.cluster.sync_all()
+                # A real barrier, not just clock alignment: remote warm-up
+                # ships weights over the NICs, and serving must not start
+                # while those payloads are still in flight.  With one node
+                # there are no NICs and nothing cluster-wide to drain, and
+                # the hard sync would break byte-identity with the plain
+                # ScaleOutServer (which never joins the streams here).
+                if self.cluster.num_nodes > 1:
+                    self.cluster.synchronize()
+                else:
+                    self.cluster.sync_all()
             profiler = Profiler(front)
             with profiler.capture(label):
                 completed, duration_ms = self._loop(ordered)
-        self.cluster.sync_all()
+        if self.cluster.num_nodes > 1:
+            self.cluster.synchronize()
+        else:
+            self.cluster.sync_all()
         profile = profiler.last_profile
         report.requests = completed
         report.duration_ms = duration_ms

@@ -149,6 +149,12 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
 
     name = "slo"
 
+    #: Scheduling arithmetic (deadline - now, division by the per-request
+    #: cost) accumulates float rounding error; comparisons within this many
+    #: ms are treated as equal so a wake-up scheduled *at* the pressure
+    #: boundary actually lands in the pressure branch.
+    EPS_MS = 1e-9
+
     def __init__(
         self,
         max_batch_size: int = 8,
@@ -172,6 +178,18 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
             deadline = oldest.arrival_ms + self.slo_ms
         return deadline - now_ms
 
+    def _fitting(self, slack_ms: float, cost_ms: float, candidate: int) -> int:
+        """Largest batch whose estimated service fits ``slack_ms``.
+
+        Float-tolerant: ``slack / cost`` for a batch scheduled exactly at
+        its pressure boundary is an integer up to rounding error, and a
+        plain floor would drop it to ``n - 1`` -- stranding the tail of the
+        queue past its deadline.
+        """
+        if cost_ms <= 0:
+            return candidate
+        return int(slack_ms / cost_ms + self.EPS_MS)
+
     def select_batch_size(self, queue: Sequence[Request], now_ms: float) -> int:
         if not queue:
             return 0
@@ -182,10 +200,10 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
             return super().select_batch_size(queue, now_ms)
         slack = self._slack_ms(queue[0], now_ms)
         cost = per_request * self.safety_factor
-        if slack > self.estimator.estimate(candidate) * self.safety_factor:
+        if slack > self.estimator.estimate(candidate) * self.safety_factor + self.EPS_MS:
             # Comfortable slack: a full batch still makes the deadline.
             return super().select_batch_size(queue, now_ms)
-        fitting = int(slack // cost) if cost > 0 else candidate
+        fitting = self._fitting(slack, cost, candidate)
         if fitting < 1:
             # The oldest deadline is unsalvageable even with a batch of one;
             # shrinking would only shed throughput and grow the backlog (a
@@ -204,11 +222,20 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
         candidate = min(len(queue), self.max_batch_size)
         slack = self._slack_ms(queue[0], now_ms)
         cost = per_request * self.safety_factor
-        pressure_start = now_ms + slack - self.estimator.estimate(candidate) * (self.safety_factor)
-        if pressure_start <= now_ms:
+        # Schedule the wake-up against the batch select_batch_size would
+        # *actually* dispatch, not the full candidate: when the slack already
+        # caps the dispatchable batch below the candidate, pushing the wake
+        # out to the full-candidate pressure point would land it after the
+        # moment that smaller batch could still make the deadline.
+        fitting = self._fitting(slack, cost, candidate)
+        selected = min(candidate, max(fitting, 1))
+        pressure_start = (
+            now_ms + slack - self.estimator.estimate(selected) * self.safety_factor
+        )
+        if pressure_start <= now_ms + self.EPS_MS:
             # Already under pressure: act immediately if a shrunken batch can
             # still make the deadline, otherwise wait for the plain timeout.
-            if slack >= cost:
+            if fitting >= 1:
                 return now_ms
             return timeout_deadline
         if timeout_deadline is None:
@@ -237,24 +264,67 @@ def available_policies() -> List[str]:
     return sorted(POLICIES)
 
 
+def applicable_policy_overrides(
+    name: str,
+    batch_timeout_ms: Optional[float] = None,
+    slo_ms: Optional[float] = None,
+) -> Dict[str, float]:
+    """The subset of overrides the named policy consumes.
+
+    Experiment grids run one workload across several policies carrying a
+    single ``(batch_timeout_ms, slo_ms)`` pair; this filters that pair down
+    to what ``name`` actually takes, so :func:`make_policy` -- which
+    rejects inapplicable overrides -- can be called uniformly across the
+    sweep.
+    """
+    key = name.lower()
+    overrides: Dict[str, float] = {}
+    if batch_timeout_ms is not None and key in (
+        TimeoutBatchingPolicy.name,
+        SLOAwarePolicy.name,
+    ):
+        overrides["batch_timeout_ms"] = batch_timeout_ms
+    if slo_ms is not None and key == SLOAwarePolicy.name:
+        overrides["slo_ms"] = slo_ms
+    return overrides
+
+
 def make_policy(
     name: str,
     max_batch_size: int = 8,
-    batch_timeout_ms: float = 5.0,
+    batch_timeout_ms: Optional[float] = None,
     slo_ms: Optional[float] = None,
 ) -> SchedulerPolicy:
-    """Build a scheduler policy by registry name."""
+    """Build a scheduler policy by registry name.
+
+    Only overrides the named policy actually consumes are accepted:
+    ``batch_timeout_ms`` applies to ``timeout`` and ``slo``, ``slo_ms`` to
+    ``slo`` alone.  Passing an inapplicable override raises
+    :class:`ValueError` -- silently dropping it would let a CLI typo
+    (``--policy fifo --batch-timeout-ms 20``) change nothing while looking
+    accepted.  Omitted overrides fall back to the policy's own defaults.
+    """
     key = name.lower()
+    if key not in POLICIES:
+        raise KeyError(f"unknown policy {name!r}; available: {', '.join(available_policies())}")
+    inapplicable = []
+    if batch_timeout_ms is not None and key == FIFOPolicy.name:
+        inapplicable.append("batch_timeout_ms")
+    if slo_ms is not None and key in (FIFOPolicy.name, TimeoutBatchingPolicy.name):
+        inapplicable.append("slo_ms")
+    if inapplicable:
+        raise ValueError(
+            f"policy {name!r} does not take {' or '.join(inapplicable)}; "
+            "drop the override or pick a policy that consumes it "
+            f"(available: {', '.join(available_policies())})"
+        )
     if key == FIFOPolicy.name:
         return FIFOPolicy(max_batch_size=max_batch_size)
+    timeout = batch_timeout_ms if batch_timeout_ms is not None else 5.0
     if key == TimeoutBatchingPolicy.name:
-        return TimeoutBatchingPolicy(
-            max_batch_size=max_batch_size, batch_timeout_ms=batch_timeout_ms
-        )
-    if key == SLOAwarePolicy.name:
-        return SLOAwarePolicy(
-            max_batch_size=max_batch_size,
-            batch_timeout_ms=batch_timeout_ms,
-            slo_ms=slo_ms if slo_ms is not None else 50.0,
-        )
-    raise KeyError(f"unknown policy {name!r}; available: {', '.join(available_policies())}")
+        return TimeoutBatchingPolicy(max_batch_size=max_batch_size, batch_timeout_ms=timeout)
+    return SLOAwarePolicy(
+        max_batch_size=max_batch_size,
+        batch_timeout_ms=timeout,
+        slo_ms=slo_ms if slo_ms is not None else 50.0,
+    )

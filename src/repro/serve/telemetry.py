@@ -143,7 +143,10 @@ class ServingReport:
             }
         if self.cache is not None:
             row["cache_hit_rate"] = self.cache.get("hit_rate", 0.0)
-            row["cache_mb"] = round(self.cache.get("bytes_peak", 0) / 1e6, 3)
+            # Footprint bound: the summed per-store peaks (equals the single
+            # store's peak on unmerged reports).
+            peak_sum = self.cache.get("bytes_peak_sum") or self.cache.get("bytes_peak", 0)
+            row["cache_mb"] = round(peak_sum / 1e6, 3)
             row["cache"] = self.cache
         if self.cluster is not None:
             row["num_nodes"] = self.cluster.get("num_nodes", 1)
@@ -209,6 +212,17 @@ class ServingReport:
                 f"{self.cache.get('capacity_mb', 0):g} MB, staleness "
                 f"{self.cache.get('staleness_ms', 0):g} ms{suffix}"
             )
+            peak_mb = self.cache.get("bytes_peak", 0) / 1e6
+            peak_sum = self.cache.get("bytes_peak_sum") or self.cache.get("bytes_peak", 0)
+            if caches > 1:
+                # Merged view: the peak is the max any one store reached; the
+                # summed per-store peaks bound the total footprint.
+                peak_text = (
+                    f"(peak {peak_mb:.2f} MB/store, "
+                    f"footprint <= {peak_sum / 1e6:.2f} MB)"
+                )
+            else:
+                peak_text = f"(peak {peak_mb:.2f} MB)"
             lines.append(
                 f"  cache hits: {self.cache.get('hits', 0)}/"
                 f"{self.cache.get('lookups', 0)} "
@@ -217,7 +231,7 @@ class ServingReport:
                 f"stale: {self.cache.get('stale_rejects', 0)}   "
                 f"invalidated: {self.cache.get('invalidations', 0)}   "
                 f"occupancy: {self.cache.get('bytes_current', 0) / 1e6:.2f} MB "
-                f"(peak {self.cache.get('bytes_peak', 0) / 1e6:.2f} MB)"
+                f"{peak_text}"
             )
         if self.autoscale is not None:
             lines.append(

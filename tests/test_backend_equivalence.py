@@ -80,7 +80,7 @@ def _serve(backend, *, overlap=True, cached=False, placement="single"):
     requests = generate_requests(
         dataset.stream, arrivals, duration_ms=60.0, events_per_request=1, slo_ms=50.0
     )
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     label = f"eq-{placement}"
     if placement == "replicate":
         server = ScaleOutServer(models, policy, make_router("round-robin", len(models)))

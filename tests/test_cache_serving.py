@@ -55,7 +55,7 @@ def serve_single(dataset, cache_kwargs, overlap, seed=0):
     model = build_tgat(machine, dataset, seed=seed)
     if cache_kwargs is not None:
         make_model_cache(model, **cache_kwargs)
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     server = InferenceServer(model, policy, overlap=overlap)
     requests = make_requests(dataset, seed=seed)
     server.serve(requests, label="warm", arrival_name="poisson")
@@ -122,7 +122,7 @@ def test_replicated_serving_merges_per_replica_caches(dataset):
         )
     for replica in replicas:
         make_model_cache(replica, policy="lru", capacity_mb=8.0, staleness_ms=1e12)
-    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
     server = ScaleOutServer(replicas, policy, make_router("round-robin", 2))
     report = server.serve(make_requests(dataset, events=2), arrival_name="poisson")
     assert report.cache is not None
@@ -169,9 +169,7 @@ def test_sharded_serving_reports_and_invalidates_across_shards(dataset):
             make_model_cache(replica, policy="lru", capacity_mb=8.0, staleness_ms=1e12)
         partition = make_partition("hash", dataset.stream, 2, seed=0)
         sharded = ShardedModel(replicas, partition)
-        policy = make_policy(
-            "timeout", max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0
-        )
+        policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
         server = InferenceServer(sharded, policy, overlap=False)
         report = server.serve(make_requests(dataset, events=2), arrival_name="poisson")
     assert report.cache is not None

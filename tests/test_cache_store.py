@@ -290,3 +290,51 @@ def test_put_many_evicts_under_pressure_like_put():
     assert sorted(key for key in keys if key in loop_store) == sorted(
         key for key in keys if key in batch_store
     )
+
+
+# -- merged-stats peak semantics (PR 8 regression) ----------------------------------
+
+
+def test_cache_stats_merge_takes_max_peak_and_keeps_the_sum():
+    from repro.cache.store import CacheStats
+
+    a = CacheStats(lookups=10, hits=4, misses=6, bytes_current=100, bytes_peak=300)
+    b = CacheStats(lookups=5, hits=5, misses=0, bytes_current=50, bytes_peak=200)
+    c = CacheStats(lookups=1, hits=0, misses=1, bytes_current=10, bytes_peak=400)
+    merged = CacheStats()
+    for part in (a, b, c):
+        merged.merge(part)
+    # Per-store peaks happen at different times: a sum of them is not a
+    # peak of the merged store.  The max is; the sum survives separately.
+    assert merged.bytes_peak == 400
+    assert merged.peak_sum == 900
+    assert merged.as_dict()["bytes_peak_sum"] == 900
+    assert merged.lookups == 16
+    assert merged.hits == 9
+    assert merged.bytes_current == 160
+    # Conservation holds through the merge.
+    assert merged.hits + merged.misses == merged.lookups
+
+
+def test_cache_stats_single_store_peak_sum_equals_peak():
+    from repro.cache.store import CacheStats
+
+    stats = CacheStats(bytes_peak=123)
+    assert stats.peak_sum == 123
+    assert stats.as_dict()["bytes_peak_sum"] == 123
+
+
+def test_merge_cache_stats_reports_max_peak_across_replicas():
+    from repro.cache import merge_cache_stats
+
+    reports = [
+        {"policy": "lru", "capacity_mb": 8.0, "staleness_ms": 5.0, "kinds": ["embedding"],
+         "lookups": 10, "hits": 3, "misses": 7, "bytes_peak": 1000, "bytes_peak_sum": 1000},
+        {"policy": "lru", "capacity_mb": 8.0, "staleness_ms": 5.0, "kinds": ["embedding"],
+         "lookups": 20, "hits": 10, "misses": 10, "bytes_peak": 600, "bytes_peak_sum": 600},
+    ]
+    merged = merge_cache_stats(reports)
+    assert merged["bytes_peak"] == 1000
+    assert merged["bytes_peak_sum"] == 1600
+    assert merged["lookups"] == 30
+    assert merged["hits"] + merged["misses"] == merged["lookups"]

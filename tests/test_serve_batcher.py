@@ -174,3 +174,84 @@ def test_force_pops_up_to_the_policy_cap():
     assert [r.request_id for r in batcher.force(0.0)] == [0, 1, 2]
     assert [r.request_id for r in batcher.force(0.0)] == [3, 4]
     assert batcher.force(0.0) == []
+
+
+# -- wake-up / dispatch consistency (PR 8 regressions) ------------------------------
+
+
+@pytest.mark.parametrize("per_request_ms,queued", [(0.001, 3), (0.001, 4), (0.002, 2)])
+def test_slo_wakeup_dispatches_the_batch_it_was_scheduled_for(per_request_ms, queued):
+    """The wake-up must not strand queue tail via a float-floor artifact.
+
+    ``next_deadline_ms`` schedules the wake-up at the pressure point of the
+    batch it expects to dispatch.  Before the fix, ``slack // cost`` at that
+    exact instant could floor to ``n - 1`` (float rounding), dispatching a
+    smaller batch and leaving the tail with zero slack -- a guaranteed SLO
+    miss the policy itself caused.
+    """
+    policy = SLOAwarePolicy(
+        max_batch_size=8, batch_timeout_ms=50.0, slo_ms=30.0, safety_factor=1.2
+    )
+    policy.estimator.observe(1, per_request_ms)
+    queue = [_request(rid, arrival_ms=0.0, slo_ms=30.0) for rid in range(queued)]
+    assert policy.select_batch_size(queue, 0.0) == 0  # comfortable: waits
+    wake = policy.next_deadline_ms(queue, 0.0)
+    assert wake is not None and wake > 0.0
+    selected = policy.select_batch_size(queue, wake)
+    assert selected == queued
+    estimated_done = wake + policy.estimator.estimate(selected) * policy.safety_factor
+    assert estimated_done <= 30.0 + 1e-6
+
+
+@pytest.mark.parametrize("per_request_ms,queued", [(0.001, 2), (0.001, 5), (0.002, 3)])
+def test_slo_wakeup_does_not_oscillate_at_the_pressure_boundary(per_request_ms, queued):
+    """Waking at the scheduled instant must trigger a dispatch, not a no-op.
+
+    Before the fix, float error could leave ``slack`` marginally above the
+    pressure threshold at the scheduled wake-up, so ``select_batch_size``
+    returned 0 and the server spun in epsilon-sized clock advances around
+    the boundary (dispatching nothing each time) until the slack decayed.
+    """
+    policy = SLOAwarePolicy(
+        max_batch_size=8, batch_timeout_ms=50.0, slo_ms=30.0, safety_factor=1.2
+    )
+    policy.estimator.observe(1, per_request_ms)
+    queue = [_request(rid, arrival_ms=0.0, slo_ms=30.0) for rid in range(queued)]
+    assert policy.select_batch_size(queue, 0.0) == 0
+    wake = policy.next_deadline_ms(queue, 0.0)
+    assert wake is not None and wake > 0.0
+    assert policy.select_batch_size(queue, wake) >= 1
+
+
+def test_make_policy_rejects_inapplicable_overrides():
+    with pytest.raises(ValueError, match="batch_timeout_ms"):
+        make_policy("fifo", batch_timeout_ms=20.0)
+    with pytest.raises(ValueError, match="slo_ms"):
+        make_policy("fifo", slo_ms=50.0)
+    with pytest.raises(ValueError, match="slo_ms"):
+        make_policy("timeout", batch_timeout_ms=4.0, slo_ms=50.0)
+    with pytest.raises(KeyError):
+        make_policy("nope")
+
+
+def test_make_policy_applies_defaults_when_overrides_are_omitted():
+    fifo = make_policy("fifo", max_batch_size=3)
+    assert fifo.max_batch_size == 3
+    timeout = make_policy("timeout")
+    assert timeout.batch_timeout_ms == pytest.approx(5.0)
+    slo = make_policy("slo", batch_timeout_ms=2.0)
+    assert slo.batch_timeout_ms == pytest.approx(2.0)
+    assert slo.slo_ms == pytest.approx(50.0)
+
+
+def test_applicable_policy_overrides_filters_per_policy():
+    from repro.serve import applicable_policy_overrides
+
+    assert applicable_policy_overrides("fifo", batch_timeout_ms=4.0, slo_ms=50.0) == {}
+    assert applicable_policy_overrides("timeout", batch_timeout_ms=4.0, slo_ms=50.0) == {
+        "batch_timeout_ms": 4.0
+    }
+    assert applicable_policy_overrides("slo", batch_timeout_ms=4.0, slo_ms=50.0) == {
+        "batch_timeout_ms": 4.0,
+        "slo_ms": 50.0,
+    }

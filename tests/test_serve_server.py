@@ -9,6 +9,7 @@ from repro.models.tgat import TGAT, TGATConfig
 from repro.serve import (
     InferenceServer,
     PoissonProcess,
+    applicable_policy_overrides,
     generate_requests,
     make_policy,
 )
@@ -35,7 +36,11 @@ def _requests(dataset, rate, duration_ms=150.0, seed=3, slo_ms=50.0):
 
 def _serve(dataset, rate, overlap, policy_name="timeout", **request_kwargs):
     model = _tgat(dataset)
-    policy = make_policy(policy_name, max_batch_size=8, batch_timeout_ms=4.0, slo_ms=50.0)
+    policy = make_policy(
+        policy_name,
+        max_batch_size=8,
+        **applicable_policy_overrides(policy_name, batch_timeout_ms=4.0, slo_ms=50.0),
+    )
     server = InferenceServer(model, policy, overlap=overlap)
     return server.serve(_requests(dataset, rate, **request_kwargs), arrival_name="poisson")
 
