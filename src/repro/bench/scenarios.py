@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..cache import make_model_cache
+from ..cache import backfill_embeddings, make_model_cache
 from ..cache.policy import make_eviction_policy
 from ..cache.store import DeviceResidentCache
 from ..datasets import load as load_dataset
@@ -37,6 +37,7 @@ from ..serve import (
     build_replicas,
     generate_requests,
     make_arrival_process,
+    make_fidelity_controller,
     make_policy,
     make_router,
 )
@@ -137,6 +138,92 @@ def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False,
         cache = report.cache or {}
         extras["cache_hit_rate"] = cache.get("hit_rate", 0.0)
         extras["cache_peak_mb"] = round(cache.get("bytes_peak", 0) / 1e6, 3)
+    return (machine, extras)
+
+
+def _serving_fidelity(seed: int, quick: bool):
+    """Adaptive-fidelity serving under overload (the degradation hot path).
+
+    Same body shape as :func:`_serving` but at ~2x the calibrated capacity
+    under the slo policy with the fidelity controller attached, so the
+    measured window spends most dispatches degraded: every batch pays the
+    controller consult, the fan-out rescale and the cache staleness
+    override.  A wall-clock regression here isolates the fidelity layer's
+    own overhead.  Extras carry the simulated p99 and the (deterministic)
+    fidelity debt and degraded-batch count.
+    """
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu()
+    model = _tgat(machine, dataset, seed, batch_size=8)
+    span_start, span_end = dataset.stream.time_span
+    make_model_cache(
+        model,
+        policy="lru",
+        capacity_mb=32.0,
+        staleness_ms=max((span_end - span_start) * 2.0, 1.0),
+    )
+    arrivals = make_arrival_process("poisson", 3000.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=1,
+        slo_ms=20.0,
+    )
+    policy = make_policy("slo", max_batch_size=8, batch_timeout_ms=2.0, slo_ms=20.0)
+    server = InferenceServer(
+        model, policy, fidelity=make_fidelity_controller()
+    )
+    report = server.serve(requests, label="bench-serving-fidelity", arrival_name="poisson")
+    snapshot = report.fidelity or {}
+    extras = {
+        "p99_ms": round(report.total_latency().p99_ms, 3) if report.completed else 0.0,
+        "fidelity_debt": float(snapshot.get("debt_score", 0.0)),
+        "degraded_batches": float(snapshot.get("degraded_batches", 0)),
+    }
+    return (machine, extras)
+
+
+def _serving_backfill(seed: int, quick: bool):
+    """Cache-backfilled serving: proactive warming before the first request.
+
+    The :func:`_serving` cached variants warm by *replaying the workload*;
+    this one instead backfills the hottest nodes' embeddings through
+    :func:`~repro.cache.backfill_embeddings` (ranking, recursive embedding
+    compute, batched inserts -- the exact pass cluster warm-up and
+    autoscaling cold starts run), then serves the measured window against
+    that proactively-warmed cache.  Extras carry the backfill's simulated
+    cost alongside the serving hit rate and p99.
+    """
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu()
+    model = _tgat(machine, dataset, seed, batch_size=8)
+    span_start, span_end = dataset.stream.time_span
+    make_model_cache(
+        model,
+        policy="degree",
+        capacity_mb=32.0,
+        staleness_ms=max((span_end - span_start) * 2.0, 1.0),
+    )
+    backfill = backfill_embeddings(model, top_k=64 if quick else 256)
+    arrivals = make_arrival_process("poisson", 400.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=1,
+        slo_ms=50.0,
+    )
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
+    server = InferenceServer(model, policy)
+    report = server.serve(requests, label="bench-serving-backfill", arrival_name="poisson")
+    cache = report.cache or {}
+    extras = {
+        "p99_ms": round(report.total_latency().p99_ms, 3) if report.completed else 0.0,
+        "cache_hit_rate": cache.get("hit_rate", 0.0),
+        "backfill_nodes": float(backfill.computed),
+        "backfill_sim_ms": round(backfill.elapsed_ms, 3),
+    }
     return (machine, extras)
 
 
@@ -478,6 +565,16 @@ SCENARIOS: Dict[str, Scenario] = {
             "serving_overlap_cached",
             "online serving, overlap + warm staleness-bounded cache",
             lambda seed, quick: _serving(seed, quick, overlap=True, cached=True),
+        ),
+        Scenario(
+            "serving_fidelity_overload",
+            "adaptive-fidelity serving under ~2x overload (slo policy)",
+            _serving_fidelity,
+        ),
+        Scenario(
+            "serving_backfill_warmed",
+            "serving against a proactively backfilled embedding cache",
+            _serving_backfill,
         ),
         Scenario(
             "scaling_1gpu",

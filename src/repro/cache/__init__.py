@@ -16,12 +16,16 @@ expensive models:
 * :mod:`repro.cache.model_cache` -- the per-model façade (embedding, sample
   and memory stores) the request path consults, plus the
   :class:`~repro.cache.model_cache.CachedPlan` handed between the serving
-  prepare/compute phases.
+  prepare/compute phases;
+* :mod:`repro.cache.backfill` -- the proactive half: an offline pass that
+  precomputes hot-node embeddings into the cache ahead of a traffic spike
+  (wired into cluster warm-up and autoscaling cold starts).
 
 See the ``cache_ablation`` experiment and ``repro-dgnn serve --cache`` for
 the end-to-end sweeps.
 """
 
+from .backfill import EMPTY_BACKFILL, BackfillReport, backfill_embeddings, hot_nodes
 from .model_cache import CachedPlan, ModelCache, make_model_cache, merge_cache_stats
 from .policy import (
     EVICTION_POLICIES,
@@ -35,17 +39,21 @@ from .policy import (
 from .store import CacheCostModel, CacheStats, DeviceResidentCache
 
 __all__ = [
+    "BackfillReport",
     "CacheCostModel",
     "CacheStats",
     "CachedPlan",
     "DegreeWeightedPolicy",
     "DeviceResidentCache",
+    "EMPTY_BACKFILL",
     "EVICTION_POLICIES",
     "EvictionPolicy",
     "LFUPolicy",
     "LRUPolicy",
     "ModelCache",
     "available_eviction_policies",
+    "backfill_embeddings",
+    "hot_nodes",
     "make_eviction_policy",
     "make_model_cache",
     "merge_cache_stats",

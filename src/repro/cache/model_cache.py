@@ -155,6 +155,31 @@ class ModelCache:
             f"staleness={self.staleness_ms:g}ms"
         )
 
+    # -- adaptive fidelity -------------------------------------------------
+
+    def set_fidelity(self, staleness_scale: float = 1.0, force_hits: bool = False) -> None:
+        """Apply (or clear) the degradation controller's cache levers.
+
+        ``staleness_scale`` multiplies every store's configured staleness
+        bound for subsequent probes (lever 2); ``force_hits`` widens the
+        *embedding* store's window to infinity so resident rows are served
+        regardless of age (lever 3, for rows whose deadline is already
+        lost).  ``(1.0, False)`` restores the configured bounds exactly.
+        Stores with a zero base bound stay byte-identical to uncached
+        execution: they never admitted writes, so there is nothing a wider
+        window could serve.
+        """
+        if staleness_scale < 1.0:
+            raise ValueError("staleness_scale must be >= 1")
+        for kind, store in self._stores.items():
+            override: Optional[float] = None
+            if store.staleness_ms > 0.0:
+                if staleness_scale > 1.0:
+                    override = store.staleness_ms * staleness_scale
+                if force_hits and kind == "embedding":
+                    override = float("inf")
+            store.set_staleness_override(override)
+
     # -- embeddings --------------------------------------------------------
 
     def lookup_embeddings(

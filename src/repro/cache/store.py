@@ -201,6 +201,32 @@ class DeviceResidentCache:
         self._entries: Dict[Any, _Entry] = {}
         self._ledger = _ChargeLedger()
         self.tag = f"cache:{kind}"
+        # Adaptive-fidelity override of the hit window (None = base bound).
+        self._staleness_override: Optional[float] = None
+
+    @property
+    def effective_staleness_ms(self) -> float:
+        """The staleness bound probes currently enforce.
+
+        Equal to the configured ``staleness_ms`` unless the serving layer's
+        degradation controller has widened it for the in-flight batch (see
+        :meth:`set_staleness_override`).
+        """
+        if self._staleness_override is not None:
+            return self._staleness_override
+        return self.staleness_ms
+
+    def set_staleness_override(self, staleness_ms: Optional[float]) -> None:
+        """Temporarily widen (or restore) the probe hit window.
+
+        ``None`` restores the configured bound.  Only *probes* consult the
+        override: inserts and the staleness-0 write bypass stay governed by
+        the base bound, so widening is purely an admission-side degradation
+        and never changes what the cache stores.
+        """
+        if staleness_ms is not None and staleness_ms < self.staleness_ms:
+            raise ValueError("staleness override must not be tighter than the base bound")
+        self._staleness_override = None if staleness_ms is None else float(staleness_ms)
 
     # -- queries -----------------------------------------------------------
 
@@ -230,14 +256,15 @@ class DeviceResidentCache:
             self.stats.misses += 1
             return None
         age = now_event_ms - entry.event_ms
-        if 0.0 <= age < self.staleness_ms:
+        staleness = self.effective_staleness_ms
+        if 0.0 <= age < staleness:
             self.stats.hits += 1
             self._ledger.hit_bytes += entry.nbytes
             self.policy.on_access(key)
             return entry.value
         self.stats.misses += 1
         self.stats.stale_rejects += 1
-        if age >= self.staleness_ms:
+        if age >= staleness:
             self._remove(key, entry)
             self.stats.stale_evictions += 1
         return None
@@ -260,7 +287,7 @@ class DeviceResidentCache:
         ledger.probed_keys += n
         ledger.pending = n > 0 or ledger.pending
         entries = self._entries
-        staleness = self.staleness_ms
+        staleness = self.effective_staleness_ms
         on_access = self.policy.on_access
         hits = 0
         misses = 0

@@ -38,7 +38,7 @@ from .bench import (
     to_payload,
     write_report,
 )
-from .cache import available_eviction_policies, make_model_cache
+from .cache import available_eviction_policies, backfill_embeddings, make_model_cache
 from .core import Profiler, analyze_profile, compute_breakdown
 from .datasets import available_datasets, load
 from .experiments import available_experiments, run_experiment
@@ -60,6 +60,7 @@ from .serve import (
     build_replicas,
     generate_requests,
     make_arrival_process,
+    make_fidelity_controller,
     make_policy,
     make_router,
 )
@@ -118,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="DGNN inference bottleneck analysis (IISWC 2022 reproduction)",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
 
     sub.add_parser("list-models", help="list the profiled DGNN models")
     sub.add_parser("list-datasets", help="list the synthetic datasets")
@@ -251,6 +252,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="event-time staleness bound; 0 admits no hit, so "
                           "cached execution stays byte-identical to uncached")
     srv.add_argument(
+        "--fidelity", action=argparse.BooleanOptionalAction, default=False,
+        help="adaptive fidelity (requires --policy slo): under deadline "
+             "pressure, degrade batches instead of missing SLOs outright -- "
+             "reduced sampling fan-out, then a widened cache staleness "
+             "bound, then forced cache hits for already-lost deadlines -- "
+             "and account the accumulated fidelity debt in the report",
+    )
+    srv.add_argument("--backfill", type=int, default=0, metavar="N",
+                     help="precompute the N hottest nodes' embeddings into "
+                          "the serving cache before traffic starts (requires "
+                          "--cache; on cluster topologies the same charge "
+                          "also lands inside autoscaling cold starts)")
+    srv.add_argument(
         "--param", action="append", type=_param_override, default=[],
         metavar="KEY=VALUE",
         help="model config override, e.g. --param num_neighbors=20 (repeatable)",
@@ -323,7 +337,110 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed fractional wall-clock regression per "
                             "scenario vs --baseline (default 0.25 = 25%%)")
+
+    # Hidden maintenance subcommand (no help= -> omitted from the listing):
+    # regenerates docs/CLI.md from this parser so the reference cannot drift.
+    docs = sub.add_parser(
+        "docs",
+        description="Render the CLI reference as deterministic markdown "
+                    "(the generator walks the parser directly instead of "
+                    "using argparse's terminal-width-dependent help "
+                    "formatter).  tests/test_docs.py regenerates it and "
+                    "fails on drift.",
+    )
+    docs.add_argument("--output", default=None,
+                      help="write the markdown here instead of stdout")
     return parser
+
+
+def _doc_entry(action: argparse.Action) -> Optional[str]:
+    """One markdown bullet for a parser action (None: not documented)."""
+    if action.help == argparse.SUPPRESS or isinstance(action, argparse._SubParsersAction):
+        return None
+    if action.option_strings:
+        if any(option in ("-h", "--help") for option in action.option_strings):
+            return None
+        name = ", ".join(f"`{option}`" for option in action.option_strings)
+    else:
+        name = f"`{action.metavar or action.dest}`"
+    notes = []
+    if action.choices is not None:
+        notes.append("one of: " + ", ".join(f"`{choice}`" for choice in action.choices))
+    default = action.default
+    if (
+        action.option_strings
+        and default is not None
+        and default is not argparse.SUPPRESS
+        and default is not False
+        and default != []
+    ):
+        notes.append(f"default: `{default}`")
+    # Raw help text, not argparse's formatter: format_help() wraps to the
+    # invoking terminal's width, which would make the generated reference
+    # differ between environments.  ('%%' is argparse's escaped percent.)
+    text = " ".join((action.help or "").replace("%%", "%").split())
+    parts = [name]
+    if notes:
+        parts.append("(" + "; ".join(notes) + ")")
+    if text:
+        parts.append("— " + text)
+    return "- " + " ".join(parts)
+
+
+def render_cli_docs(parser: Optional[argparse.ArgumentParser] = None) -> str:
+    """The full CLI reference as deterministic markdown.
+
+    Walks the parser's subcommands and actions directly so the output is
+    canonical -- byte-identical regardless of terminal width or locale --
+    and therefore diffable: ``tests/test_docs.py`` regenerates it and fails
+    when ``docs/CLI.md`` drifts from the argparse definitions.
+    """
+    if parser is None:
+        parser = build_parser()
+    sub_action = next(
+        action for action in parser._actions if isinstance(action, argparse._SubParsersAction)
+    )
+    lines = [
+        "# CLI reference",
+        "",
+        f"`{parser.prog}` — {parser.description}",
+        "",
+        "Generated by `repro-dgnn docs`; edit `src/repro/cli.py`, not this "
+        "file (`tests/test_docs.py` fails on drift).  Global flag: "
+        "`--version`.",
+    ]
+    for name, command in sub_action.choices.items():
+        lines.append("")
+        lines.append(f"## `{parser.prog} {name}`")
+        summary = command.description or next(
+            (
+                choice_action.help
+                for choice_action in sub_action._choices_actions
+                if choice_action.dest == name and choice_action.help
+            ),
+            None,
+        )
+        if summary:
+            lines.append("")
+            lines.append(" ".join(summary.split()))
+        entries = [_doc_entry(action) for action in command._actions]
+        entries = [entry for entry in entries if entry is not None]
+        if entries:
+            lines.append("")
+            lines.extend(entries)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    text = render_cli_docs()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_list_models() -> int:
@@ -446,6 +563,20 @@ def _make_cli_policy(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _parse_param(args.param)
+    if args.fidelity and args.policy != "slo":
+        print(
+            "error: --fidelity degrades batches on the slo policy's deadline "
+            "signal; pass --policy slo",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backfill < 0:
+        print("error: --backfill must be non-negative", file=sys.stderr)
+        return 2
+    if args.backfill and not args.cache:
+        print("error: --backfill warms the serving cache; pass --cache",
+              file=sys.stderr)
+        return 2
     if args.topology in available_cluster_specs():
         return _cmd_serve_cluster(args, overrides)
     if args.autoscale:
@@ -474,6 +605,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 2
     if args.placement != "single":
+        if args.fidelity:
+            print(
+                "error: --fidelity applies to single-model serving on "
+                "machine topologies (and to every cluster topology); "
+                "replicated/sharded single-machine serving has no "
+                "degradation hooks",
+                file=sys.stderr,
+            )
+            return 2
         if args.overlap:
             print(
                 "error: --overlap applies to single-model serving; "
@@ -528,6 +668,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             events_per_request=args.events_per_request, slo_ms=args.slo_ms,
         )
         policy = _make_cli_policy(args)
+        if args.backfill:
+            for model in models:
+                backfill_embeddings(model, top_k=args.backfill)
         label = f"{args.model}-serve-{args.placement}"
         if args.placement == "replicate":
             router = make_router(args.router, len(models))
@@ -539,7 +682,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server = InferenceServer(sharded, policy, overlap=False)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
         else:
-            server = InferenceServer(models[0], policy, overlap=args.overlap)
+            fidelity = make_fidelity_controller() if args.fidelity else None
+            server = InferenceServer(models[0], policy, overlap=args.overlap,
+                                     fidelity=fidelity)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -623,6 +768,8 @@ def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> i
         server = ClusterServer(
             cluster, models, nodes, policy,
             make_router(args.router, len(models)), autoscaler=autoscaler,
+            fidelity=make_fidelity_controller() if args.fidelity else None,
+            backfill_nodes=args.backfill,
         )
         report = server.serve(
             requests, label=f"{args.model}-serve-cluster", arrival_name=args.arrival
@@ -762,6 +909,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "docs":
+        return _cmd_docs(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from . import (
     ablations,
+    adaptive_fidelity,
     autoscaling,
     cache_ablation,
     fig6,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig9.run,
     "warmup_onetime": warmup_onetime.run,
     "ablations": ablations.run,
+    "adaptive_fidelity": adaptive_fidelity.run,
     "autoscaling": autoscaling.run,
     "cache_ablation": cache_ablation.run,
     "overlap_exec": overlap_exec.run,
@@ -79,6 +81,7 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "adaptive_fidelity",
     "autoscaling",
     "available_experiments",
     "cache_ablation",

@@ -66,7 +66,7 @@ class FuzzConfig:
     #: ``{"policy", "capacity_bytes", "staleness_ms", "kind"}`` or ``None``.
     cache: Optional[Dict[str, Any]] = None
     #: ``{"placement", "policy", "router", "overlap", "rate_rps",
-    #: "duration_ms", "cache"}`` or ``None``.
+    #: "duration_ms", "cache", "fidelity"}`` or ``None``.
     serving: Optional[Dict[str, Any]] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -102,6 +102,8 @@ class FuzzConfig:
             parts.append(
                 f"serve={self.serving['placement']}/{self.serving['policy']}"
             )
+            if self.serving.get("fidelity"):
+                parts.append("fidelity")
         return " ".join(parts)
 
 
@@ -138,7 +140,17 @@ def draw_config(rng: random.Random) -> FuzzConfig:
                 if rng.random() < 0.4
                 else None
             ),
+            # Adaptive fidelity rides only on the slo policy's deadline
+            # signal and the single-model server's degradation hooks.
+            "fidelity": (
+                placement == "single" and policy == "slo" and rng.random() < 0.5
+            ),
         }
+        if serving["fidelity"]:
+            # Re-draw the rate with overload options so degradation episodes
+            # actually trigger; the low end keeps the debt-free identity
+            # branch of the fidelity-identity invariant reachable too.
+            serving["rate_rps"] = rng.choice((600.0, 3000.0, 6000.0))
     return FuzzConfig(
         topology=rng.choice(TOPOLOGIES),
         backend=rng.choice(BACKENDS),

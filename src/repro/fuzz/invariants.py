@@ -13,8 +13,9 @@ Three families:
   serving telemetry conserves (offered = completed, latency splits add up).
 * **Differential** checks re-run the same op list under a paired config and
   demand event-log identity: ``shape`` vs ``numeric`` backends, a 1-node
-  cluster vs the bare node machine, and a staleness-0 cache vs the
-  never-store reference proxy.
+  cluster vs the bare node machine, a staleness-0 cache vs the never-store
+  reference proxy, and a debt-free adaptive-fidelity serving run vs the
+  controller detached.
 
 ``check_case`` is the single entry point: it runs a program under its
 config and applies every applicable invariant from ``checks``, raising
@@ -41,6 +42,7 @@ INVARIANTS = {
     "single-node-cluster": "a 1-node cluster is event-identical to the bare machine",
     "staleness-zero": "a staleness-0 cache is byte-identical to not storing at all",
     "batched-scalar-cache": "batched cache ops are byte-identical to their scalar forms",
+    "fidelity-identity": "zero pressure => zero fidelity debt => byte-identical serving",
 }
 
 
@@ -360,6 +362,54 @@ def _check_staleness_zero(config: FuzzConfig, ops: List[Op], base: Execution) ->
         )
 
 
+def _check_fidelity_identity(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    """Zero pressure => zero fidelity debt => byte-identical serving.
+
+    The controller must be a strict no-op until the SLO policy actually
+    reports deadline pressure: when the base run's fidelity episode accrued
+    no debt, re-running the identical program with the controller detached
+    must produce the same event log and the same per-request completion
+    times as today's (fidelity-free) serving.  A debt-free run that still
+    diverges means the controller leaked modeled state (fan-out, staleness
+    override, EWMA feedback) into an undegraded timeline.
+    """
+    serving = config.serving
+    if not serving or not serving.get("fidelity"):
+        return
+    report = base.serve_report
+    if report is None or report.fidelity is None:
+        raise InvariantViolation(
+            "fidelity-identity",
+            "serving ran with fidelity enabled but reported no fidelity snapshot",
+        )
+    snapshot = report.fidelity
+    if snapshot["debt_score"] == 0.0 and snapshot["degraded_batches"] != 0:
+        raise InvariantViolation(
+            "fidelity-identity",
+            f"zero debt but {snapshot['degraded_batches']} degraded batches",
+        )
+    if snapshot["debt_score"] != 0.0:
+        return  # pressure happened; degradation is allowed to diverge
+    detached = FuzzConfig.from_dict(config.as_dict())
+    detached.serving = dict(detached.serving)
+    detached.serving["fidelity"] = False
+    paired = Execution(detached, checks=set()).run(_structural_ops(ops))
+    _compare(
+        "fidelity-identity",
+        _signatures(base),
+        _signatures(paired),
+        "debt-free fidelity serving vs fidelity disabled",
+    )
+    if paired.serve_report is not None:
+        base_times = [r.completed_ms for r in report.requests]
+        paired_times = [r.completed_ms for r in paired.serve_report.requests]
+        if base_times != paired_times:
+            raise InvariantViolation(
+                "fidelity-identity",
+                "debt-free fidelity serving changed request completion times",
+            )
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -385,6 +435,8 @@ def check_case(
         _check_batched_scalar(config, ops, base)
     if "staleness-zero" in selected:
         _check_staleness_zero(config, ops, base)
+    if "fidelity-identity" in selected:
+        _check_fidelity_identity(config, ops, base)
     machines = list(base.nodes)
     if base.serve_machine is not None:
         machines.append(base.serve_machine)

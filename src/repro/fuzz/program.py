@@ -545,6 +545,7 @@ class Execution:
             applicable_policy_overrides,
             build_replicas,
             generate_requests,
+            make_fidelity_controller,
             make_policy,
             make_router,
         )
@@ -587,7 +588,14 @@ class Execution:
             server = InferenceServer(ShardedModel(replicas, partition), policy, overlap=False)
             report = server.serve(requests, label="fuzz", arrival_name="poisson")
         else:
-            server = InferenceServer(replicas[0], policy, overlap=serving["overlap"])
+            # .get(): reproducer dicts written before the fidelity field
+            # existed must keep replaying unchanged.
+            fidelity = (
+                make_fidelity_controller() if serving.get("fidelity") else None
+            )
+            server = InferenceServer(
+                replicas[0], policy, overlap=serving["overlap"], fidelity=fidelity
+            )
             report = server.serve(requests, label="fuzz", arrival_name="poisson")
         self.serve_machine = machine
         self.serve_report = report

@@ -104,6 +104,10 @@ class DGNNModel(Module):
         self._compute_device: Device = device if device is not None else machine.compute_device
         #: The attached serving cache (``None`` = uncached request path).
         self.cache: Optional[Any] = None
+        #: Adaptive-fidelity fan-out multiplier (1.0 = full quality).  The
+        #: serving layer sets this per dispatched batch; sampling models
+        #: read it through :meth:`effective_fanout`.
+        self._fanout_scale: float = 1.0
 
     # -- devices -------------------------------------------------------------
 
@@ -194,6 +198,29 @@ class DGNNModel(Module):
     def cache_stats(self) -> Optional[Any]:
         """The attached cache's telemetry dict (``None`` when uncached)."""
         return self.cache.stats() if self.cache is not None else None
+
+    def set_fanout_scale(self, scale: float) -> None:
+        """Scale per-layer neighbour fan-out (adaptive-fidelity lever 1).
+
+        ``scale`` multiplies the configured neighbour count at every
+        sampling site; 1.0 restores full quality.  The serving layer calls
+        this per dispatched batch, so it must stay cheap and side-effect
+        free beyond the stored scale.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("fan-out scale must be in (0, 1]")
+        self._fanout_scale = scale
+
+    def effective_fanout(self, num_neighbors: int) -> int:
+        """The fan-out sampling should use under the current fidelity scale.
+
+        At scale 1.0 this is exactly ``num_neighbors`` (the untouched
+        full-quality path); degraded scales floor at one neighbour so the
+        aggregation still has support.
+        """
+        if self._fanout_scale >= 1.0:
+            return num_neighbors
+        return max(1, int(num_neighbors * self._fanout_scale))
 
     def make_request_batch(self, payloads: Sequence[Any]) -> Any:
         """Merge per-request payloads into one iteration batch.

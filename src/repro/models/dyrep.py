@@ -177,7 +177,9 @@ class DyRep(DGNNModel):
         """Temporal-attention aggregation of ``node``'s neighbourhood (1, dim)."""
         with self.machine.region("Temporal Attention"):
             sample = self.sampler.sample(
-                np.array([node]), np.array([timestamp]), self.config.num_neighbors
+                np.array([node]),
+                np.array([timestamp]),
+                self.effective_fanout(self.config.num_neighbors),
             )
             neighbor_rows = ops.gather_rows(table, sample.neighbor_ids.reshape(-1))
             projected = self.attention_proj(neighbor_rows)

@@ -271,11 +271,11 @@ class TGAT(DGNNModel):
             return
         config = self.config
         with self.machine.region("Sampling (CPU)"):
-            sample = self._sample(nodes, times, config.num_neighbors)
+            sample = self._sample(nodes, times, self.effective_fanout(config.num_neighbors))
         out.append(sample)
         self._sampling_plan(nodes, times, layer - 1, out)
         flat_neighbors = sample.neighbor_ids.reshape(-1)
-        flat_times = np.repeat(times, config.num_neighbors)
+        flat_times = np.repeat(times, sample.neighbor_ids.shape[1])
         self._sampling_plan(flat_neighbors, flat_times, layer - 1, out)
 
     # -- recursive temporal attention -----------------------------------------------
@@ -381,18 +381,21 @@ class TGAT(DGNNModel):
         config = self.config
         if plan is None:
             with self.machine.region("Sampling (CPU)"):
-                sample = self._sample(nodes, times, config.num_neighbors)
+                sample = self._sample(nodes, times, self.effective_fanout(config.num_neighbors))
         else:
             sample = next(plan)
+        # Downstream shapes derive from the sample's own width, not the
+        # configured fan-out: under adaptive fidelity the overlap server may
+        # change the fan-out scale between a batch's prepare and compute
+        # phases, and the plan's samples carry the width they were drawn at.
+        fanout = sample.neighbor_ids.shape[1]
         # Recursive lower-layer embeddings for the targets and their neighbours.
         target_prev = self._embed(nodes, times, layer - 1, plan=plan)
         flat_neighbors = sample.neighbor_ids.reshape(-1)
-        flat_times = np.repeat(times, config.num_neighbors)
+        flat_times = np.repeat(times, fanout)
         neighbor_prev = self._embed(flat_neighbors, flat_times, layer - 1, plan=plan)
         num_targets = len(nodes)
-        neighbor_prev = ops.reshape(
-            neighbor_prev, (num_targets, config.num_neighbors, config.node_dim)
-        )
+        neighbor_prev = ops.reshape(neighbor_prev, (num_targets, fanout, config.node_dim))
         device = self.compute_device
         host = self.host_device
         # The sampled neighbour ids, interaction-time deltas and validity mask
@@ -400,7 +403,7 @@ class TGAT(DGNNModel):
         # the per-batch "Memory Copy" the paper sees growing with the
         # neighbourhood size.
         if self.machine.shape_mode:
-            dt_shape = (num_targets, config.num_neighbors)
+            dt_shape = (num_targets, fanout)
             neighbor_dt_host = Tensor(meta.placeholder(dt_shape), host)
             ids_host = Tensor(meta.placeholder(dt_shape), host)
         else:
@@ -417,11 +420,23 @@ class TGAT(DGNNModel):
             target_time_enc = self.time_encoder(target_dt)
             neighbor_time_enc = self.time_encoder(neighbor_dt)
         with self.machine.region("Attention Layer"):
-            mask = ops.reshape(mask, (num_targets, 1, 1, config.num_neighbors))
+            mask = ops.reshape(mask, (num_targets, 1, 1, fanout))
             attention = self.attention_layers[layer - 1]
             return attention(
                 target_prev, target_time_enc, neighbor_prev, neighbor_time_enc, mask=mask
             )
+
+    def compute_embeddings(self, nodes: np.ndarray, times: np.ndarray) -> Tensor:
+        """Full-depth embeddings for explicit (node, time) pairs.
+
+        The offline backfill pass (:mod:`repro.cache.backfill`) uses this to
+        precompute hot-node embeddings into the serving cache outside any
+        request; it runs the ordinary recursive attention (sampling charged
+        as usual) without the link-prediction head.
+        """
+        nodes = np.asarray(nodes)
+        times = np.asarray(times, dtype=np.float64)
+        return self._embed(nodes, times, layer=self.config.num_layers)
 
     def _feature_table(self) -> Tensor:
         """The device-resident projected feature table (uploaded on first use)."""

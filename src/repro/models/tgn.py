@@ -230,32 +230,33 @@ class TGN(DGNNModel):
         # (3) Temporal-neighbourhood message passing (sampling + gathering).
         with self.machine.region("Message Passing"):
             query_times_all = np.concatenate([timestamps, timestamps])
-            sample = self._sample(nodes, query_times_all, self.config.num_neighbors)
+            sample = self._sample(
+                nodes, query_times_all, self.effective_fanout(self.config.num_neighbors)
+            )
+            # Shapes derive from the sample's own width so a degraded-fanout
+            # batch (adaptive fidelity) stays self-consistent end to end.
+            fanout = sample.neighbor_ids.shape[1]
             neighbor_mem_host = ops.gather_rows(
                 Tensor(self._memory, host), sample.neighbor_ids.reshape(-1)
             )
             neighbor_mem = self._upload_memory_rows(
                 neighbor_mem_host,
                 sample.neighbor_ids.reshape(-1),
-                np.repeat(query_times_all, self.config.num_neighbors),
+                np.repeat(query_times_all, fanout),
                 "neighbor_memory",
             )
             neighbor_mem = ops.reshape(
-                neighbor_mem, (len(nodes), self.config.num_neighbors, self.config.memory_dim)
+                neighbor_mem, (len(nodes), fanout, self.config.memory_dim)
             )
             query_times = np.concatenate([timestamps, timestamps])
             if self.machine.shape_mode:
-                neighbor_dt = Tensor(
-                    meta.placeholder((len(nodes), self.config.num_neighbors)), device
-                )
+                neighbor_dt = Tensor(meta.placeholder((len(nodes), fanout)), device)
             else:
                 neighbor_dt = Tensor(
                     (query_times[:, None] - sample.neighbor_times).astype(np.float32),
                     device,
                 )
-            mask = ops.reshape(
-                Tensor(sample.mask, device), (len(nodes), 1, 1, self.config.num_neighbors)
-            )
+            mask = ops.reshape(Tensor(sample.mask, device), (len(nodes), 1, 1, fanout))
 
         # (4) Embedding computation on the device.
         with self.machine.region("Compute Embedding"):

@@ -12,6 +12,10 @@ throughput numbers under load.  It simulates an online serving stack on the
   batching, SLO-aware batch shrinking);
 * :mod:`repro.serve.server` -- the serving loop, with blocking execution or
   the stream-based sampling/compute overlap of :mod:`repro.optim`;
+* :mod:`repro.serve.fidelity` -- adaptive fidelity: a degradation controller
+  the SLO policy consults under deadline pressure, trading modeled quality
+  (fan-out, staleness, forced cache hits) for latency and accounting the
+  debt;
 * :mod:`repro.serve.router` / :mod:`repro.serve.placement` /
   :mod:`repro.serve.scaleout` -- multi-GPU scale-out: replicated serving
   (per-GPU model replicas behind a batch router) and sharded serving (a
@@ -33,6 +37,13 @@ CLI subcommand for the end-to-end sweeps.
 from .autoscale import AutoscaleConfig, Autoscaler, ScaleEvent
 from .batcher import DynamicBatcher
 from .cluster import ClusterServer, build_cluster_replicas, payload_nbytes
+from .fidelity import (
+    FULL_FIDELITY,
+    FidelityConfig,
+    FidelityController,
+    FidelityDecision,
+    make_fidelity_controller,
+)
 from .placement import ShardedModel, build_replicas
 from .policy import (
     POLICIES,
@@ -82,6 +93,10 @@ __all__ = [
     "DiurnalProcess",
     "DynamicBatcher",
     "FIFOPolicy",
+    "FULL_FIDELITY",
+    "FidelityConfig",
+    "FidelityController",
+    "FidelityDecision",
     "FlashCrowdProcess",
     "InferenceServer",
     "JoinShortestQueueRouter",
@@ -110,6 +125,7 @@ __all__ = [
     "build_replicas",
     "generate_requests",
     "make_arrival_process",
+    "make_fidelity_controller",
     "make_policy",
     "make_router",
     "payload_nbytes",

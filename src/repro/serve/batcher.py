@@ -8,6 +8,13 @@ of requests popped from the queue head) or an empty list meaning *keep
 waiting* -- an empty queue tick and a not-yet-timed-out partial batch look
 the same to the caller.  :meth:`next_deadline_ms` tells the server how far
 it may advance the clock before the policy could change its mind.
+
+The batcher itself never degrades anything: when adaptive fidelity is on
+(:mod:`repro.serve.fidelity`), the SLO policy consults the controller's
+projected cost scale *inside* :meth:`~repro.serve.policy.SchedulerPolicy.
+select_batch_size`, so a batch the policy could only form at reduced
+fidelity still comes out of :meth:`poll` as a plain request list -- the
+server applies the levers at dispatch.
 """
 
 from __future__ import annotations

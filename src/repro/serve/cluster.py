@@ -35,20 +35,21 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
-from ..cache import merge_cache_stats
+from ..cache import backfill_embeddings, merge_cache_stats
 from ..core.profiler import Profiler
 from ..hw.cluster import Cluster
 from ..hw.stream import StreamEvent
 from .autoscale import Autoscaler
 from .batcher import DynamicBatcher
+from .fidelity import FidelityController
 from .placement import build_replicas
 from .policy import SchedulerPolicy
 from .request import Request
 from .router import Router
 from .telemetry import ServingReport
 
-#: (requests, replica index, completion event)
-_Inflight = Tuple[List[Request], int, StreamEvent]
+#: (requests, replica index, completion event, fidelity cost scale)
+_Inflight = Tuple[List[Request], int, StreamEvent, float]
 
 
 def build_cluster_replicas(
@@ -99,9 +100,13 @@ class ClusterServer:
         policy: SchedulerPolicy,
         router: Router,
         autoscaler: Optional[Autoscaler] = None,
+        fidelity: Optional[FidelityController] = None,
+        backfill_nodes: int = 0,
     ) -> None:
         if not replicas:
             raise ValueError("cluster serving needs at least one replica")
+        if fidelity is not None and not callable(getattr(policy, "attach_fidelity", None)):
+            raise TypeError("adaptive fidelity requires the 'slo' policy")
         if len(replica_nodes) != len(replicas):
             raise ValueError("replica_nodes must map every replica to a node")
         if router.num_replicas != len(replicas):
@@ -123,6 +128,10 @@ class ClusterServer:
         self.policy = policy
         self.router = router
         self.autoscaler = autoscaler
+        self.fidelity = fidelity
+        self.backfill_nodes = int(backfill_nodes)
+        if fidelity is not None:
+            policy.attach_fidelity(fidelity)
         self.batcher = DynamicBatcher(policy)
         self._inflight: List[_Inflight] = []
         self._last_ready: List[float] = [0.0] * len(self.replicas)
@@ -157,6 +166,10 @@ class ClusterServer:
         if not requests:
             return report
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        if self.fidelity is not None:
+            self.fidelity.set_cache_available(
+                any(getattr(replica, "cache", None) is not None for replica in self.replicas)
+            )
         with front.activate():
             if warm_up:
                 head = [r.payload for r in ordered[: self.policy.max_batch_size]]
@@ -167,6 +180,12 @@ class ClusterServer:
                     else:
                         with self.cluster.nodes[node_index].activate():
                             replica.warm_up(batch)
+                    # Proactive warming: precompute hot-node embeddings into
+                    # each replica's cache before the first request, charged
+                    # to the owning node (backfill_embeddings activates the
+                    # replica's own machine) and drained by the barrier below.
+                    if self.backfill_nodes > 0 and getattr(replica, "cache", None) is not None:
+                        backfill_embeddings(replica, top_k=self.backfill_nodes)
                 # A real barrier, not just clock alignment: remote warm-up
                 # ships weights over the NICs, and serving must not start
                 # while those payloads are still in flight.  With one node
@@ -216,6 +235,8 @@ class ClusterServer:
         }
         if self.autoscaler is not None:
             report.autoscale = self.autoscaler.stats(duration_ms)
+        if self.fidelity is not None:
+            report.fidelity = self.fidelity.snapshot()
         return report
 
     # -- serving loop -----------------------------------------------------------
@@ -259,7 +280,7 @@ class ClusterServer:
             if deadline is not None:
                 targets.append(deadline)
             if self._inflight:
-                targets.append(min(e.ready_ms for _, _, e in self._inflight) - t0)
+                targets.append(min(e.ready_ms for _, _, e, _ in self._inflight) - t0)
             if autoscaler is not None:
                 pending_ready = autoscaler.next_ready_ms()
                 if pending_ready is not None:
@@ -290,6 +311,7 @@ class ClusterServer:
         target = self.router.route(len(batch), now)
         node_index = self.replica_nodes[target]
         replica = self.replicas[target]
+        cost_scale = self._degrade(batch, now, replica)
         payload = replica.make_request_batch([r.payload for r in batch])
         for request in batch:
             request.dispatched_ms = now
@@ -311,8 +333,35 @@ class ClusterServer:
             with remote.activate():
                 ready = self._dispatch_on(remote, replica, target, payload)
         self.router.notify_dispatch(target, len(batch))
-        self._inflight.append((batch, target, ready))
+        self._inflight.append((batch, target, ready, cost_scale))
         self._broadcast_invalidation(target, payload)
+
+    def _degrade(self, batch: List[Request], now_ms: float, replica: Any) -> float:
+        """Advance the fidelity controller and apply its levers to ``replica``.
+
+        Each replica owns its model and cache, so the decision is applied to
+        the batch's *target* only; other replicas keep whatever level their
+        last dispatch set.  Returns the batch's modeled cost scale (1.0 when
+        fidelity is off -- no model or cache state is touched)."""
+        if self.fidelity is None:
+            return 1.0
+        pressured = False
+        probe = getattr(self.policy, "deadline_pressured", None)
+        if probe is not None:
+            pressured = probe(batch, now_ms)
+        lost = sum(
+            1
+            for request in batch
+            if request.deadline_ms is not None and request.deadline_ms <= now_ms
+        )
+        decision = self.fidelity.on_dispatch(pressured, len(batch), lost_deadlines=lost)
+        setter = getattr(replica, "set_fanout_scale", None)
+        if setter is not None:
+            setter(decision.fanout_scale)
+        cache = getattr(replica, "cache", None)
+        if cache is not None:
+            cache.set_fidelity(decision.staleness_scale, decision.force_hits)
+        return decision.cost_scale
 
     def _dispatch_on(self, machine, replica, target: int, payload: Any) -> StreamEvent:
         """The scale-out dispatch body, on whichever node hosts the replica."""
@@ -359,9 +408,9 @@ class ClusterServer:
         """
         front = self.machine
         still_inflight: List[_Inflight] = []
-        for batch, target, ready in self._inflight:
+        for batch, target, ready, cost_scale in self._inflight:
             if ready.ready_ms > front.host_time_ms + 1e-9:
-                still_inflight.append((batch, target, ready))
+                still_inflight.append((batch, target, ready, cost_scale))
                 continue
             done = ready.ready_ms - t0
             for request in batch:
@@ -375,7 +424,12 @@ class ClusterServer:
             )
             execution_ms = max(0.0, ready.ready_ms - started)
             self._last_ready[target] = ready.ready_ms
-            self.policy.observe(len(batch), service_ms)
+            # Normalize the policy's feedback to full-quality cost: the EWMA
+            # must keep estimating what an *undegraded* batch costs, or a
+            # degraded period would talk the policy out of degrading.  The
+            # router keeps the raw span -- load balancing cares about what
+            # the replica actually spent.
+            self.policy.observe(len(batch), service_ms / cost_scale)
             self.router.notify_complete(target, len(batch), execution_ms)
             if self.autoscaler is not None:
                 for request in batch:
@@ -411,7 +465,17 @@ class ClusterServer:
             max(nbytes, 1),
             name="weight_transfer",
         )
-        return arrival - self._t0
+        ready_ms = arrival
+        # Re-warm the flushed cache as part of the cold start: the replica
+        # only joins the fleet once its hot rows are back, so the backfill
+        # charge lands inside the modeled spin-up latency.
+        if self.backfill_nodes > 0 and getattr(replica, "cache", None) is not None:
+            node = self.cluster.nodes[node_index]
+            if node_index != 0:
+                self.cluster.sync_node(node_index, arrival)
+            backfill_embeddings(replica, top_k=self.backfill_nodes)
+            ready_ms = max(arrival, node.host_time_ms)
+        return ready_ms - self._t0
 
     def _spin_down(self, index: int, now_ms: float) -> None:
         """Release one replica: flush its cache so re-activation is cold."""

@@ -171,6 +171,18 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
         self.slo_ms = slo_ms
         self.safety_factor = safety_factor
         self.estimator = estimator if estimator is not None else ServiceTimeEstimator()
+        #: Optional degradation controller (see :mod:`repro.serve.fidelity`).
+        #: The policy only *consults* it -- state advances at server dispatch.
+        self.fidelity = None
+
+    def attach_fidelity(self, controller) -> None:
+        """Let the unsalvageable-deadline branch consider degraded service.
+
+        With a controller attached, a batch that cannot make its deadline at
+        full quality re-checks the fit at the controller's next degradation
+        level before falling back to throughput batching.
+        """
+        self.fidelity = controller
 
     def _slack_ms(self, oldest: Request, now_ms: float) -> float:
         deadline = oldest.deadline_ms
@@ -205,12 +217,37 @@ class SLOAwarePolicy(TimeoutBatchingPolicy):
             return super().select_batch_size(queue, now_ms)
         fitting = self._fitting(slack, cost, candidate)
         if fitting < 1:
+            if self.fidelity is not None:
+                # Before conceding the deadline, re-price the batch at the
+                # controller's next degradation level: shrunken fan-out /
+                # widened staleness may still fit a batch inside the slack.
+                degraded = self._fitting(
+                    slack, cost * self.fidelity.projected_cost_scale(), candidate
+                )
+                if degraded >= 1:
+                    return min(candidate, degraded)
             # The oldest deadline is unsalvageable even with a batch of one;
             # shrinking would only shed throughput and grow the backlog (a
             # latency death spiral under overload), so batch for throughput.
             return super().select_batch_size(queue, now_ms)
         # Deadline pressure: dispatch now with the largest batch that fits.
         return min(candidate, fitting)
+
+    def deadline_pressured(self, queue: Sequence[Request], now_ms: float) -> bool:
+        """Whether the oldest queued request misses its deadline at full cost.
+
+        The server asks this at dispatch time to drive the fidelity
+        controller's escalate/recover state machine; it mirrors the
+        unsalvageable branch of :meth:`select_batch_size` (a batch of one at
+        full quality no longer fits the slack) without any side effects.
+        """
+        if not queue:
+            return False
+        per_request = self.estimator.per_request_ms
+        if per_request is None:
+            return False
+        slack = self._slack_ms(queue[0], now_ms)
+        return self._fitting(slack, per_request * self.safety_factor, 1) < 1
 
     def next_deadline_ms(self, queue: Sequence[Request], now_ms: float) -> Optional[float]:
         timeout_deadline = super().next_deadline_ms(queue, now_ms)

@@ -40,12 +40,13 @@ from typing import Any, List, Optional, Sequence, Tuple
 from ..core.profiler import Profiler
 from ..hw.stream import StreamEvent
 from .batcher import DynamicBatcher
+from .fidelity import FULL_FIDELITY, FidelityController
 from .policy import SchedulerPolicy
 from .request import Request
 from .telemetry import ServingReport
 
-#: (requests, merged payload, sampling plan, prepared event)
-_Inflight = Tuple[List[Request], Any, Any, StreamEvent]
+#: (requests, merged payload, sampling plan, prepared event, cost scale)
+_Inflight = Tuple[List[Request], Any, Any, StreamEvent, float]
 
 
 class InferenceServer:
@@ -54,15 +55,29 @@ class InferenceServer:
     #: Name of the CPU stream overlap-mode sampling is issued onto.
     SAMPLING_STREAM = "serve-sampling"
 
-    def __init__(self, model: Any, policy: SchedulerPolicy, overlap: bool = False) -> None:
+    def __init__(
+        self,
+        model: Any,
+        policy: SchedulerPolicy,
+        overlap: bool = False,
+        fidelity: Optional[FidelityController] = None,
+    ) -> None:
         if overlap and not getattr(model, "supports_overlap", False):
             raise TypeError(
                 f"{type(model).__name__} does not implement the overlap protocol "
                 "(prepare_iteration/compute_iteration); serve it with overlap=False"
             )
+        if fidelity is not None and not hasattr(policy, "attach_fidelity"):
+            raise TypeError(
+                f"policy {policy.describe()} has no deadline estimator to drive "
+                "degradation; adaptive fidelity requires the 'slo' policy"
+            )
         self.model = model
         self.policy = policy
         self.overlap = overlap
+        self.fidelity = fidelity
+        if fidelity is not None:
+            policy.attach_fidelity(fidelity)
         self.batcher = DynamicBatcher(policy)
         self._inflight: Optional[_Inflight] = None
 
@@ -92,6 +107,8 @@ class InferenceServer:
         )
         if not requests:
             return report
+        if self.fidelity is not None:
+            self.fidelity.set_cache_available(getattr(self.model, "cache", None) is not None)
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         with machine.activate():
             if warm_up:
@@ -110,6 +127,8 @@ class InferenceServer:
         stats = getattr(self.model, "cache_stats", None)
         if callable(stats):
             report.cache = stats()
+        if self.fidelity is not None:
+            report.fidelity = self.fidelity.snapshot()
         if profile.elapsed_ms > 0:
             report.cpu_utilization = min(1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms)
         return report
@@ -159,13 +178,14 @@ class InferenceServer:
         """Execute (or pipeline) one freshly formed batch."""
         machine = self.model.machine
         now = machine.host_time_ms - t0
+        cost_scale = self._degrade(batch, now)
         payload = self.model.make_request_batch([r.payload for r in batch])
         for request in batch:
             request.dispatched_ms = now
             request.batch_size = len(batch)
         if not self.overlap:
             self.model.inference_iteration(payload)
-            self._finish(batch, t0, completed)
+            self._finish(batch, t0, completed, cost_scale)
             return
         # Overlap mode: issue this batch's sampling onto the prefetch stream
         # *before* blocking on the previous batch's device work, so the two
@@ -174,20 +194,55 @@ class InferenceServer:
         with machine.use_stream(stream):
             plan = self.model.prepare_iteration(payload)
             ready = machine.record_event(stream, name="serve_prepared")
-        previous, self._inflight = (self._inflight, (batch, payload, plan, ready))
+        previous, self._inflight = (self._inflight, (batch, payload, plan, ready, cost_scale))
         if previous is not None:
             self._compute(previous, t0, completed)
 
+    def _degrade(self, batch: List[Request], now_ms: float) -> float:
+        """Advance the fidelity controller for this dispatch; apply its levers.
+
+        Returns the decision's modeled cost scale so :meth:`_finish` can
+        normalize the observed service time back to full-quality cost before
+        feeding the estimator.  Without a controller this is a strict no-op
+        on every model/cache code path (scale 1.0, base staleness).
+        """
+        if self.fidelity is None:
+            return FULL_FIDELITY.cost_scale
+        pressured = False
+        probe = getattr(self.policy, "deadline_pressured", None)
+        if probe is not None:
+            pressured = probe(batch, now_ms)
+        lost = sum(
+            1
+            for request in batch
+            if request.deadline_ms is not None and request.deadline_ms <= now_ms
+        )
+        decision = self.fidelity.on_dispatch(pressured, len(batch), lost_deadlines=lost)
+        setter = getattr(self.model, "set_fanout_scale", None)
+        if setter is not None:
+            setter(decision.fanout_scale)
+        cache = getattr(self.model, "cache", None)
+        if cache is not None:
+            cache.set_fidelity(decision.staleness_scale, decision.force_hits)
+        return decision.cost_scale
+
     def _compute(self, entry: _Inflight, t0: float, completed: List[Request]) -> None:
         """Retire one prepared batch: wait for its plan, run device compute."""
-        batch, payload, plan, ready = entry
+        batch, payload, plan, ready, cost_scale = entry
         machine = self.model.machine
         machine.event_synchronize(ready, name="serve_wait_prepared")
         self.model.compute_iteration(payload, plan)
-        self._finish(batch, t0, completed)
+        self._finish(batch, t0, completed, cost_scale)
 
-    def _finish(self, batch: List[Request], t0: float, completed: List[Request]) -> None:
-        """Stamp completions and feed the service time back to the policy."""
+    def _finish(
+        self, batch: List[Request], t0: float, completed: List[Request], cost_scale: float = 1.0
+    ) -> None:
+        """Stamp completions and feed the service time back to the policy.
+
+        ``cost_scale`` is the fidelity decision the batch ran under; dividing
+        it back out keeps the EWMA tracking *full-quality* service cost, so
+        recovery to full fidelity never starts from an optimistic estimate.
+        """
         machine = self.model.machine
         done = machine.host_time_ms - t0
         for request in batch:
@@ -195,4 +250,4 @@ class InferenceServer:
         completed.extend(batch)
         dispatched = batch[0].dispatched_ms
         if dispatched is not None:
-            self.policy.observe(len(batch), done - dispatched)
+            self.policy.observe(len(batch), (done - dispatched) / cost_scale)

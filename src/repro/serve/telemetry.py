@@ -47,6 +47,10 @@ class ServingReport:
             provisioned runs): replica bounds, scale events with their
             cold-start charges, and the fleet's GPU-time integral, as
             produced by :meth:`repro.serve.autoscale.Autoscaler.stats`.
+        fidelity: Graceful-degradation telemetry (``None`` when adaptive
+            fidelity is off): per-lever debt counters, the weighted debt
+            score, and the controller's level trajectory, as produced by
+            :meth:`repro.serve.fidelity.FidelityController.snapshot`.
     """
 
     label: str
@@ -65,6 +69,7 @@ class ServingReport:
     cache: Optional[Dict[str, Any]] = None
     cluster: Optional[Dict[str, Any]] = None
     autoscale: Optional[Dict[str, Any]] = None
+    fidelity: Optional[Dict[str, Any]] = None
 
     # -- latency distributions -------------------------------------------------
 
@@ -157,6 +162,10 @@ class ServingReport:
             row["scale_ups"] = self.autoscale.get("scale_ups", 0)
             row["scale_downs"] = self.autoscale.get("scale_downs", 0)
             row["autoscale"] = self.autoscale
+        if self.fidelity is not None:
+            row["fidelity_debt"] = self.fidelity.get("debt_score", 0.0)
+            row["degraded_batches"] = self.fidelity.get("degraded_batches", 0)
+            row["fidelity"] = self.fidelity
         if self.completed:
             for prefix, summary in (
                 ("", self.total_latency()),
@@ -241,6 +250,16 @@ class ServingReport:
                 f"downs: {self.autoscale.get('scale_downs', 0)}   "
                 f"GPU-time: {self.autoscale.get('gpu_time_ms', 0.0):.1f} ms   "
                 f"cold-start: {self.autoscale.get('cold_start_ms', 0.0):.1f} ms"
+            )
+        if self.fidelity is not None:
+            lines.append(
+                f"  fidelity: debt {self.fidelity.get('debt_score', 0.0):g}   "
+                f"degraded batches: {self.fidelity.get('degraded_batches', 0)}/"
+                f"{self.fidelity.get('total_dispatches', 0)}   "
+                f"fanout/stale/forced: {self.fidelity.get('fanout_requests', 0)}/"
+                f"{self.fidelity.get('stale_requests', 0)}/"
+                f"{self.fidelity.get('forced_requests', 0)}   "
+                f"max level: {self.fidelity.get('max_level_seen', 0)}"
             )
         lines.append(
             f"  utilization: GPU {self.gpu_utilization * 100:.2f}%   "

@@ -1,0 +1,75 @@
+"""The docs tier: CLI reference drift and dead local links.
+
+``docs/CLI.md`` is generated (``repro-dgnn docs``), so the drift test is
+exact equality against a fresh render -- regenerate with::
+
+    PYTHONPATH=src python -m repro.cli docs --output docs/CLI.md
+
+The link check walks every markdown file in ``docs/`` plus the README and
+resolves each relative link target against the repository tree; external
+``http(s)``/``mailto`` links are skipped (CI must not depend on the
+network).
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.cli import render_cli_docs
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)]+)\)")
+
+
+def _doc_files():
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    for name in sorted(os.listdir(DOCS_DIR)):
+        if name.endswith(".md"):
+            paths.append(os.path.join(DOCS_DIR, name))
+    return paths
+
+
+def test_docs_tier_exists():
+    names = {os.path.basename(path) for path in _doc_files()}
+    assert {"README.md", "ARCHITECTURE.md", "CLI.md", "INVARIANTS.md"} <= names
+
+
+def test_cli_reference_matches_the_parser():
+    """docs/CLI.md must be regenerated whenever the argparse tree changes."""
+    with open(os.path.join(DOCS_DIR, "CLI.md"), encoding="utf-8") as handle:
+        committed = handle.read()
+    assert committed == render_cli_docs(), (
+        "docs/CLI.md drifted from the parser; regenerate with "
+        "`PYTHONPATH=src python -m repro.cli docs --output docs/CLI.md`"
+    )
+
+
+def test_cli_reference_is_terminal_width_independent(monkeypatch):
+    """The renderer must not fall back to argparse's wrapping formatter."""
+    monkeypatch.setenv("COLUMNS", "40")
+    narrow = render_cli_docs()
+    monkeypatch.setenv("COLUMNS", "200")
+    assert narrow == render_cli_docs()
+
+
+@pytest.mark.parametrize(
+    "path", _doc_files(), ids=[os.path.basename(p) for p in _doc_files()]
+)
+def test_markdown_links_resolve(path):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, f"dead local links in {os.path.basename(path)}: {broken}"
