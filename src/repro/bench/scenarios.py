@@ -141,6 +141,49 @@ def _serving(seed: int, quick: bool, overlap: bool, cached: bool = False,
     return (machine, extras)
 
 
+def _serving_traced(seed: int, quick: bool):
+    """Overlapped serving with the span tracer and metrics registry attached.
+
+    Identical workload to ``serving_overlap`` plus the full observability
+    path: per-request spans, event-slice recording, dispatch/completion
+    metrics and a trace build at the end.  A wall-clock regression here
+    against ``serving_overlap`` isolates the tracing layer's own overhead
+    (which must stay small -- the hot path only pays span bookkeeping, never
+    extra simulated work, so the simulated extras match the untraced
+    scenario exactly).  Extras carry the run's p99 plus the span and
+    trace-event counts, all deterministic.
+    """
+    from ..obs import MetricsRegistry, Tracer, build_trace
+
+    dataset = load_dataset("wikipedia", scale="tiny" if quick else "small")
+    machine = Machine.cpu_gpu()
+    model = _tgat(machine, dataset, seed)
+    arrivals = make_arrival_process("poisson", 400.0, seed=seed)
+    requests = generate_requests(
+        dataset.stream,
+        arrivals,
+        duration_ms=80.0 if quick else 250.0,
+        events_per_request=1,
+        slo_ms=50.0,
+    )
+    policy = make_policy("timeout", max_batch_size=8, batch_timeout_ms=4.0)
+    tracer = Tracer().attach(machine)
+    metrics = MetricsRegistry()
+    server = InferenceServer(
+        model, policy, overlap=True, tracer=tracer, metrics=metrics
+    )
+    report = server.serve(
+        requests, label="bench-serving-traced", arrival_name="poisson"
+    )
+    payload = build_trace(tracer, report=report, label="bench-serving-traced")
+    extras = {
+        "p99_ms": round(report.total_latency().p99_ms, 3) if report.completed else 0.0,
+        "spans": float(len(tracer.spans)),
+        "trace_events": float(len(payload["traceEvents"])),
+    }
+    return (machine, extras)
+
+
 def _serving_fidelity(seed: int, quick: bool):
     """Adaptive-fidelity serving under overload (the degradation hot path).
 
@@ -565,6 +608,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "serving_overlap_cached",
             "online serving, overlap + warm staleness-bounded cache",
             lambda seed, quick: _serving(seed, quick, overlap=True, cached=True),
+        ),
+        Scenario(
+            "serving_traced",
+            "online overlapped serving with span tracer + metrics attached",
+            _serving_traced,
         ),
         Scenario(
             "serving_fidelity_overload",

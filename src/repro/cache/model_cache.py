@@ -423,20 +423,29 @@ def merge_cache_stats(reports: Sequence[Optional[Dict[str, Any]]]) -> Optional[D
     """Merge per-replica/per-shard cache stat dicts into one report view.
 
     Counter keys are summed, ``hit_rate`` is recomputed from the merged
-    totals, and configuration keys (policy, capacity, staleness) are taken
-    from the first non-empty report.  ``bytes_peak`` takes the max across
-    replicas (per-replica peaks happen at different times, so a sum is not
-    a peak of anything); the summed footprint bound survives as
-    ``bytes_peak_sum``.  Returns ``None`` when nothing cached.
+    totals, and configuration keys (policy, staleness) are taken from the
+    first non-empty report.  ``capacity_mb`` sums each report's own
+    capacity and ``kinds`` is the ordered union across reports, so
+    heterogeneous replica sets (mixed capacities, models with different
+    entry kinds) merge faithfully -- on a homogeneous fleet both reduce to
+    the first report's values scaled by the cache count.  ``bytes_peak``
+    takes the max across replicas (per-replica peaks happen at different
+    times, so a sum is not a peak of anything); the summed footprint bound
+    survives as ``bytes_peak_sum``.  Returns ``None`` when nothing cached.
     """
     live = [report for report in reports if report]
     if not live:
         return None
+    kinds: List[str] = []
+    for report in live:
+        for kind in report.get("kinds", []):
+            if kind not in kinds:
+                kinds.append(kind)
     merged: Dict[str, Any] = {
         "policy": live[0].get("policy", ""),
-        "capacity_mb": live[0].get("capacity_mb", 0.0) * len(live),
+        "capacity_mb": sum(report.get("capacity_mb", 0.0) for report in live),
         "staleness_ms": live[0].get("staleness_ms", 0.0),
-        "kinds": live[0].get("kinds", []),
+        "kinds": kinds,
         "caches": len(live),
     }
     counters = (

@@ -46,6 +46,19 @@ from .fuzz import INVARIANTS, fuzz as run_fuzz, load_reproducer, replay, save_re
 from .graph.partition import available_partitioners, make_partition
 from .hw import Cluster, Machine, available_cluster_specs, available_machine_specs
 from .models import available_models, build_model
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    attribute_request,
+    diff_traces,
+    export_trace,
+    format_breakdown,
+    format_diff,
+    format_top_spans,
+    load_trace,
+    pick_request,
+    top_spans,
+)
 from .serve import (
     AutoscaleConfig,
     Autoscaler,
@@ -155,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="model config override, e.g. --param batch_size=256 (repeatable)",
     )
+    prof.add_argument("--trace", default=None, metavar="PATH",
+                      help="export the profiled timeline as Perfetto/Chrome "
+                           "trace-event JSON to PATH (load it in "
+                           "ui.perfetto.dev, or feed it to repro-dgnn trace)")
 
     srv = sub.add_parser(
         "serve",
@@ -269,6 +286,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="model config override, e.g. --param num_neighbors=20 (repeatable)",
     )
+    srv.add_argument("--trace", default=None, metavar="PATH",
+                     help="record per-request spans and a metrics registry "
+                          "during the run and export a Perfetto/Chrome "
+                          "trace-event JSON to PATH (request flows cross node "
+                          "tracks on cluster topologies; analyse with "
+                          "repro-dgnn trace)")
+
+    tr = sub.add_parser(
+        "trace",
+        help="critical-path attribution of an exported trace",
+        description="Analyse a trace file written by serve/profile --trace: "
+                    "decompose one request's end-to-end latency into "
+                    "queue/kernel/nic/copy/cache/sample/sync/wait segments "
+                    "that sum exactly to its total (the service window is "
+                    "swept over the serving node's timeline events, highest-"
+                    "priority active category first), print the longest "
+                    "spans, or diff two traces category by category.",
+    )
+    tr.add_argument("trace", help="trace JSON exported by serve/profile --trace")
+    tr.add_argument("--request", default="p99", metavar="SELECTOR",
+                    help="which request to attribute: p50/p95/p99 (closest "
+                         "to that total-latency percentile), max (slowest), "
+                         "or a request id")
+    tr.add_argument("--top", type=int, default=10, metavar="K",
+                    help="also print the K longest spans (0 disables)")
+    tr.add_argument("--diff", default=None, metavar="OTHER",
+                    help="instead of attribution, diff this trace against "
+                         "OTHER (per-category busy totals and latency "
+                         "percentiles)")
 
     fz = sub.add_parser(
         "fuzz",
@@ -492,12 +538,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         if args.device == "gpu"
         else Machine.cpu_only(backend=args.backend)
     )
+    tracer = Tracer().attach(machine) if args.trace else None
     with machine.activate():
         dataset = load(args.dataset, scale=args.scale) if args.dataset else None
         model = build_model(args.model, machine, dataset=dataset, scale=args.scale, **overrides)
         profiler = Profiler(machine)
         if args.overlap:
-            return _profile_overlapped(args, machine, model, profiler)
+            status = _profile_overlapped(args, machine, model, profiler)
+            if status == 0 and tracer is not None:
+                export_trace(args.trace, tracer, label=f"{args.model}-profile")
+                print(f"wrote trace to {args.trace}")
+            return status
         for index, batch in enumerate(_take_batches(model, args.iterations)):
             if index == 0:
                 model.warm_up(batch)
@@ -507,6 +558,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         _print_profile_summary(profile, f"{profile.label} ({args.device})")
     report = analyze_profile(profiler.profiles[-1])
     print(report.format_table())
+    if tracer is not None:
+        export_trace(args.trace, tracer, label=f"{args.model}-profile")
+        print(f"wrote trace to {args.trace}")
     return 0
 
 
@@ -671,25 +725,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.backfill:
             for model in models:
                 backfill_embeddings(model, top_k=args.backfill)
+        tracer = Tracer() if args.trace else None
+        metrics = MetricsRegistry() if args.trace else None
         label = f"{args.model}-serve-{args.placement}"
         if args.placement == "replicate":
             router = make_router(args.router, len(models))
-            scale_server = ScaleOutServer(models, policy, router)
+            scale_server = ScaleOutServer(models, policy, router,
+                                          tracer=tracer, metrics=metrics)
             report = scale_server.serve(requests, label=label, arrival_name=args.arrival)
         elif args.placement == "shard":
             partition = make_partition(args.partitioner, stream, len(models), seed=args.seed)
             sharded = ShardedModel(models, partition)
-            server = InferenceServer(sharded, policy, overlap=False)
+            server = InferenceServer(sharded, policy, overlap=False,
+                                     tracer=tracer, metrics=metrics)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
         else:
             fidelity = make_fidelity_controller() if args.fidelity else None
             server = InferenceServer(models[0], policy, overlap=args.overlap,
-                                     fidelity=fidelity)
+                                     fidelity=fidelity, tracer=tracer,
+                                     metrics=metrics)
             report = server.serve(requests, label=label, arrival_name=args.arrival)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.format_table())
+    if tracer is not None:
+        export_trace(args.trace, tracer, report=report)
+        print(f"wrote trace to {args.trace}")
     if not requests:
         print("(the workload offered no requests; raise --rate or --duration)")
     return 0
@@ -765,11 +827,14 @@ def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> i
                 slo_ms=args.slo_ms,
             )
             autoscaler = Autoscaler(config)
+        tracer = Tracer() if args.trace else None
+        metrics = MetricsRegistry() if args.trace else None
         server = ClusterServer(
             cluster, models, nodes, policy,
             make_router(args.router, len(models)), autoscaler=autoscaler,
             fidelity=make_fidelity_controller() if args.fidelity else None,
             backfill_nodes=args.backfill,
+            tracer=tracer, metrics=metrics,
         )
         report = server.serve(
             requests, label=f"{args.model}-serve-cluster", arrival_name=args.arrival
@@ -778,8 +843,39 @@ def _cmd_serve_cluster(args: argparse.Namespace, overrides: Dict[str, Any]) -> i
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.format_table())
+    if tracer is not None:
+        export_trace(args.trace, tracer, report=report)
+        print(f"wrote trace to {args.trace}")
     if not requests:
         print("(the workload offered no requests; raise --rate or --duration)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        payload = load_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.diff is not None:
+        try:
+            other = load_trace(args.diff)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load trace {args.diff!r}: {exc}", file=sys.stderr)
+            return 2
+        print(format_diff(diff_traces(payload, other)))
+        return 0
+    try:
+        request = pick_request(payload, args.request)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_breakdown(request, attribute_request(payload, request)))
+    if args.top > 0:
+        spans = top_spans(payload, args.top)
+        if spans:
+            print()
+            print(format_top_spans(spans))
     return 0
 
 
@@ -905,6 +1001,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "bench":

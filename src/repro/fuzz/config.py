@@ -66,7 +66,7 @@ class FuzzConfig:
     #: ``{"policy", "capacity_bytes", "staleness_ms", "kind"}`` or ``None``.
     cache: Optional[Dict[str, Any]] = None
     #: ``{"placement", "policy", "router", "overlap", "rate_rps",
-    #: "duration_ms", "cache", "fidelity"}`` or ``None``.
+    #: "duration_ms", "cache", "fidelity", "trace"}`` or ``None``.
     serving: Optional[Dict[str, Any]] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -145,6 +145,11 @@ def draw_config(rng: random.Random) -> FuzzConfig:
             "fidelity": (
                 placement == "single" and policy == "slo" and rng.random() < 0.5
             ),
+            # Span tracer + metrics registry riding on the episode; the
+            # trace-conservation invariant then checks span arithmetic and
+            # that detaching the tracer leaves the run event-for-event
+            # identical.
+            "trace": rng.random() < 0.4,
         }
         if serving["fidelity"]:
             # Re-draw the rate with overload options so degradation episodes

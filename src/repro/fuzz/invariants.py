@@ -43,6 +43,8 @@ INVARIANTS = {
     "staleness-zero": "a staleness-0 cache is byte-identical to not storing at all",
     "batched-scalar-cache": "batched cache ops are byte-identical to their scalar forms",
     "fidelity-identity": "zero pressure => zero fidelity debt => byte-identical serving",
+    "trace-conservation": "span arithmetic conserves and detaching the tracer "
+                          "is byte-identical",
 }
 
 
@@ -410,6 +412,149 @@ def _check_fidelity_identity(config: FuzzConfig, ops: List[Op], base: Execution)
             )
 
 
+def _check_trace_conservation(config: FuzzConfig, ops: List[Op], base: Execution) -> None:
+    """The tracer observes the run; it must never change or misreport it.
+
+    Two halves.  *Identity*: re-running the identical program with the
+    tracer detached must produce event-for-event identical logs and the
+    same per-request completion times -- the tracer is read-only.
+    *Conservation*: within the traced run, every span closes, children nest
+    inside their parents, each completed request's queue/service spans
+    reproduce its reported latency split within ``EPS_MS``, and every
+    recorded event slice points at a valid, per-node non-overlapping window
+    of its machine's event log whose events start inside the span interval.
+    """
+    serving = config.serving
+    if not serving or not serving.get("trace"):
+        return
+    from ..obs.trace import EPS_MS
+
+    tracer = base.serve_tracer
+    report = base.serve_report
+    if tracer is None or report is None:
+        raise InvariantViolation(
+            "trace-conservation",
+            "serving ran with trace enabled but produced no tracer/report",
+        )
+    # -- identity differential ------------------------------------------
+    paired = Execution(config, checks=set(), no_trace=True).run(_structural_ops(ops))
+    _compare(
+        "trace-conservation",
+        _signatures(base),
+        _signatures(paired),
+        "traced serving vs tracer detached",
+    )
+    if paired.serve_report is not None:
+        base_times = [r.completed_ms for r in report.requests]
+        paired_times = [r.completed_ms for r in paired.serve_report.requests]
+        if base_times != paired_times:
+            raise InvariantViolation(
+                "trace-conservation",
+                "attaching the tracer changed request completion times",
+            )
+    # -- span structure --------------------------------------------------
+    spans = tracer.spans
+    for span in spans:
+        if span.end_ms is None:
+            raise InvariantViolation(
+                "trace-conservation",
+                f"span {span.span_id} ({span.name}) was never closed",
+            )
+        if span.end_ms < span.start_ms - EPS_MS:
+            raise InvariantViolation(
+                "trace-conservation",
+                f"span {span.span_id} ({span.name}) ends before it starts",
+            )
+        if span.parent_id is not None:
+            if not 0 <= span.parent_id < len(spans):
+                raise InvariantViolation(
+                    "trace-conservation",
+                    f"span {span.span_id} has dangling parent {span.parent_id}",
+                )
+            parent = spans[span.parent_id]
+            if (
+                span.start_ms < parent.start_ms - EPS_MS
+                or span.end_ms > parent.end_ms + EPS_MS
+            ):
+                raise InvariantViolation(
+                    "trace-conservation",
+                    f"span {span.span_id} ({span.name}) "
+                    f"[{span.start_ms}, {span.end_ms}] escapes its parent "
+                    f"{parent.span_id} [{parent.start_ms}, {parent.end_ms}]",
+                )
+    # -- per-request latency split ---------------------------------------
+    queue_spans = {
+        span.trace_ids[0]: span
+        for span in spans
+        if span.category == "queue" and len(span.trace_ids) == 1
+    }
+    service_spans = {}
+    for span in spans:
+        if span.category == "service":
+            for rid in span.trace_ids:
+                service_spans[rid] = span
+    for request in report.requests:
+        rid = request.request_id
+        queue = queue_spans.get(rid)
+        service = service_spans.get(rid)
+        if queue is None or service is None:
+            raise InvariantViolation(
+                "trace-conservation",
+                f"completed request {rid} lacks a queue or service span",
+            )
+        if abs(queue.duration_ms - request.queue_ms) > EPS_MS:
+            raise InvariantViolation(
+                "trace-conservation",
+                f"request {rid}: queue span {queue.duration_ms} ms != "
+                f"reported queue_ms {request.queue_ms}",
+            )
+        if abs(service.duration_ms - request.service_ms) > EPS_MS:
+            raise InvariantViolation(
+                "trace-conservation",
+                f"request {rid}: service span {service.duration_ms} ms != "
+                f"reported service_ms {request.service_ms}",
+            )
+    # -- event-slice attribution -----------------------------------------
+    by_node: dict = {}
+    for span_id, node, start_index, end_index in tracer.slices:
+        if not 0 <= span_id < len(spans):
+            raise InvariantViolation(
+                "trace-conservation", f"slice references unknown span {span_id}"
+            )
+        machine = tracer.machines.get(node)
+        if machine is None:
+            raise InvariantViolation(
+                "trace-conservation", f"slice references unknown node {node!r}"
+            )
+        if not 0 <= start_index < end_index <= len(machine.events):
+            raise InvariantViolation(
+                "trace-conservation",
+                f"slice [{start_index}, {end_index}) outside {node}'s event "
+                f"log of {len(machine.events)}",
+            )
+        span = spans[span_id]
+        for event in machine.events[start_index:end_index]:
+            if (
+                event.start_ms < span.start_ms - EPS_MS
+                or event.start_ms > span.end_ms + EPS_MS
+            ):
+                raise InvariantViolation(
+                    "trace-conservation",
+                    f"event {event.name!r} at {event.start_ms} issued outside "
+                    f"span {span_id} [{span.start_ms}, {span.end_ms}]",
+                )
+        by_node.setdefault(node, []).append((start_index, end_index, span_id))
+    for node, windows in by_node.items():
+        windows.sort()
+        for (s0, e0, id0), (s1, e1, id1) in zip(windows, windows[1:]):
+            if s1 < e0:
+                raise InvariantViolation(
+                    "trace-conservation",
+                    f"slices of spans {id0} and {id1} overlap on {node} "
+                    f"([{s0}, {e0}) vs [{s1}, {e1}))",
+                )
+
+
 # -- entry point ------------------------------------------------------------
 
 
@@ -437,6 +582,8 @@ def check_case(
         _check_staleness_zero(config, ops, base)
     if "fidelity-identity" in selected:
         _check_fidelity_identity(config, ops, base)
+    if "trace-conservation" in selected:
+        _check_trace_conservation(config, ops, base)
     machines = list(base.nodes)
     if base.serve_machine is not None:
         machines.append(base.serve_machine)

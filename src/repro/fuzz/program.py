@@ -269,6 +269,9 @@ class Execution:
         scalar_cache: Decompose every batched cache op (``probe_many``,
             ``put_many``) into its scalar per-key form (the batched-scalar
             differential's paired run).
+        no_trace: Force the serving episode to run without a tracer even
+            when the config asks for one (the trace-conservation
+            differential's paired run).
         record_events: Forwarded to the machines; the differential checks
             need event logs, so it defaults on.
     """
@@ -279,11 +282,13 @@ class Execution:
         checks: Optional[set] = None,
         null_cache: bool = False,
         scalar_cache: bool = False,
+        no_trace: bool = False,
         record_events: bool = True,
     ) -> None:
         self.config = config
         self.checks = checks
         self.scalar_cache = scalar_cache
+        self.no_trace = no_trace
         self.cluster: Optional[Cluster] = None
         if config.cluster:
             self.cluster = Cluster(
@@ -317,6 +322,7 @@ class Execution:
         self.recorded: Dict[int, Any] = {}
         self.serve_machine: Optional[Machine] = None
         self.serve_report = None
+        self.serve_tracer = None
         self._host_before = [n.host_time_ms for n in self.nodes]
 
     # -- helpers ---------------------------------------------------------
@@ -578,27 +584,39 @@ class Execution:
             events_per_request=1,
             slo_ms=20.0,
         )
+        # .get(): reproducer dicts written before the trace field existed
+        # must keep replaying unchanged (same for fidelity below).
+        tracer = metrics = None
+        if serving.get("trace") and not self.no_trace:
+            from ..obs import MetricsRegistry, Tracer
+
+            tracer = Tracer()
+            metrics = MetricsRegistry()
         if serving["placement"] == "replicate" and len(replicas) > 1:
             server = ScaleOutServer(
-                replicas, policy, make_router(serving["router"], len(replicas))
+                replicas, policy, make_router(serving["router"], len(replicas)),
+                tracer=tracer, metrics=metrics,
             )
             report = server.serve(requests, label="fuzz", arrival_name="poisson")
         elif serving["placement"] == "shard" and len(replicas) > 1:
             partition = make_partition("degree", dataset.stream, len(replicas), seed=0)
-            server = InferenceServer(ShardedModel(replicas, partition), policy, overlap=False)
+            server = InferenceServer(
+                ShardedModel(replicas, partition), policy, overlap=False,
+                tracer=tracer, metrics=metrics,
+            )
             report = server.serve(requests, label="fuzz", arrival_name="poisson")
         else:
-            # .get(): reproducer dicts written before the fidelity field
-            # existed must keep replaying unchanged.
             fidelity = (
                 make_fidelity_controller() if serving.get("fidelity") else None
             )
             server = InferenceServer(
-                replicas[0], policy, overlap=serving["overlap"], fidelity=fidelity
+                replicas[0], policy, overlap=serving["overlap"], fidelity=fidelity,
+                tracer=tracer, metrics=metrics,
             )
             report = server.serve(requests, label="fuzz", arrival_name="poisson")
         self.serve_machine = machine
         self.serve_report = report
+        self.serve_tracer = tracer
 
 
 _DATASET_CACHE: Dict[str, Any] = {}

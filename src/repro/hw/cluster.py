@@ -202,6 +202,7 @@ class Cluster:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         source = self.nodes[src_node]
+        issue_ms = source.host_time_ms if ready_ms is None else max(ready_ms, 0.0)
         if src_node == dst_node:
             if src == dst:
                 raise ValueError("transfer requires two distinct endpoints")
@@ -209,7 +210,7 @@ class Cluster:
             return source.topology.route(src, dst)[-1].link.free_at
         target_machine = self.nodes[dst_node]
         nic = self.nic_link(src_node, dst_node)
-        ready = source.host_time_ms if ready_ms is None else max(ready_ms, 0.0)
+        ready = issue_ms
         # (1) Source GPU -> source host (skipped for host-resident payloads).
         if src.is_gpu:
             link = source.topology.host_link(src)
@@ -234,6 +235,13 @@ class Cluster:
                 target_machine, link, interval, nbytes, name, target_machine.cpu.name, dst.name
             )
             ready = interval.end_ms
+        # Observability hook: a NIC-routed payload becomes one ``nic`` span
+        # (issue to arrival) in the attached tracer's request tree.  Strictly
+        # read-only -- no charge, no clock movement -- so runs with and
+        # without a tracer stay event-for-event identical.
+        tracer = source.tracer
+        if tracer is not None:
+            tracer.nic_span(name, issue_ms, ready, src_node, dst_node, nbytes, source)
         return ready
 
     @staticmethod

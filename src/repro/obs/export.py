@@ -1,0 +1,363 @@
+"""Chrome trace-event / Perfetto JSON export of a traced run.
+
+:func:`build_trace` renders one :class:`~repro.obs.trace.Tracer` (and the
+machines attached to it) into the Chrome trace-event format that Perfetto
+and ``chrome://tracing`` load directly:
+
+* every node machine becomes a *process* (pid), every ``(resource, stream)``
+  pair one of its *threads* (tid) -- streams show up as tracks;
+* kernels, transfers and NIC hops become ``"X"`` duration events on their
+  stream track, categorised (``kernel``/``copy``/``nic``/``cache``/
+  ``sample``/``sync``/``warmup``) for the attribution CLI;
+* spans become ``"b"``/``"e"`` async pairs on their node, so a request's
+  queue -> service -> sample/nic tree renders as nested async rows;
+* scale events, invalidation broadcasts and fidelity lever changes become
+  ``"i"`` instants;
+* each request contributes an ``"s"``/``"f"`` *flow* from the end of its
+  queue span (front-end node) to the start of its service span (serving
+  node) -- on a cluster run the arrow crosses node tracks.
+
+Besides ``traceEvents`` the payload carries a ``repro`` block (schema
+version, request records with their latency split, the span/instant lists,
+the metrics snapshot) that :mod:`repro.obs.critical_path` consumes, so an
+exported file is self-contained for both Perfetto and ``repro-dgnn trace``.
+Timestamps in ``traceEvents`` are microseconds (trace-event convention);
+everything in ``repro`` stays in simulated milliseconds.
+
+:func:`validate_trace` checks a payload against the checked-in JSON schema
+(``docs/trace.schema.json``) with a small built-in validator (subset:
+``type``/``properties``/``required``/``items``/``enum``), so CI needs no
+third-party jsonschema package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..hw.events import ALLOC, FREE, KERNEL, MARKER, SYNC, TRANSFER, WARMUP
+from .trace import Tracer
+
+#: Trace payload schema version (bump when the layout changes).
+TRACE_VERSION = 1
+
+#: Repo-relative location of the JSON schema the exporter promises.
+SCHEMA_RELPATH = os.path.join("docs", "trace.schema.json")
+
+
+def classify_event(event: Any, nic_resources: set, cpu_names: set) -> Optional[str]:
+    """Attribution category of one timeline event (``None`` = skip).
+
+    Cache charges are recognisable by their ``cache_`` name prefix on either
+    side of the PCIe bus; NIC hops by their link resource; remaining GPU
+    kernels are compute, remaining host kernels are the sampling/marshalling
+    work the paper attributes to the CPU.
+    """
+    if event.kind == MARKER or event.kind == ALLOC or event.kind == FREE:
+        return None
+    if event.name.startswith("cache_"):
+        return "cache"
+    if event.kind == TRANSFER:
+        return "nic" if event.resource in nic_resources else "copy"
+    if event.kind == KERNEL:
+        return "sample" if event.resource in cpu_names else "kernel"
+    if event.kind == SYNC:
+        return "sync"
+    if event.kind == WARMUP:
+        return "warmup"
+    return None
+
+
+def build_trace(
+    tracer: Tracer,
+    report: Optional[Any] = None,
+    label: str = "",
+) -> Dict[str, Any]:
+    """Render a tracer (+ optional :class:`ServingReport`) into a payload."""
+    nodes = sorted(tracer.machines)
+    pids = {node: index + 1 for index, node in enumerate(nodes)}
+    cpu_names = {machine.cpu.name for machine in tracer.machines.values()}
+    nic_resources = set(tracer.nic_resources)
+    events: List[Dict[str, Any]] = []
+
+    # -- process/thread metadata + timeline tracks -------------------------
+    for node in nodes:
+        machine = tracer.machines[node]
+        pid = pids[node]
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "args": {"name": f"{node} ({machine.cpu.name})"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "spans"},
+            }
+        )
+        tracks: Dict[Tuple[str, str], int] = {}
+        for event in machine.events:
+            category = classify_event(event, nic_resources, cpu_names)
+            if category is None:
+                continue
+            track = (event.resource, event.stream)
+            tid = tracks.get(track)
+            if tid is None:
+                tid = tracks[track] = len(tracks) + 1
+                stream_label = f" [{event.stream}]" if event.stream else ""
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": f"{event.resource}{stream_label}"},
+                    }
+                )
+            record: Dict[str, Any] = {
+                "ph": "X",
+                "name": event.name,
+                "cat": category,
+                "pid": pid,
+                "tid": tid,
+                "ts": event.start_ms * 1000.0,
+                "dur": event.duration_ms * 1000.0,
+                "args": {"node": node, "resource": event.resource, "stream": event.stream},
+            }
+            if event.bytes:
+                record["args"]["bytes"] = int(event.bytes)
+            if event.flops:
+                record["args"]["flops"] = event.flops
+            events.append(record)
+
+    # -- spans as async begin/end pairs ------------------------------------
+    for span in tracer.spans:
+        if span.end_ms is None:
+            continue
+        pid = pids.get(span.node, 0)
+        base = {
+            "cat": span.category,
+            "name": span.name,
+            "id": str(span.span_id),
+            "pid": pid,
+            "tid": 0,
+        }
+        begin = dict(base)
+        begin["ph"] = "b"
+        begin["ts"] = span.start_ms * 1000.0
+        begin["args"] = {
+            "node": span.node,
+            "trace_ids": list(span.trace_ids),
+            "parent": span.parent_id,
+        }
+        end = dict(base)
+        end["ph"] = "e"
+        end["ts"] = span.end_ms * 1000.0
+        events.append(begin)
+        events.append(end)
+
+    # -- instants ----------------------------------------------------------
+    for instant in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": instant.name,
+                "cat": instant.category,
+                "pid": pids.get(instant.node, 0),
+                "tid": 0,
+                "ts": instant.ts_ms * 1000.0,
+                "args": dict(instant.attrs),
+            }
+        )
+
+    # -- request flows: queue span end -> service span start ---------------
+    queue_spans: Dict[int, Any] = {}
+    service_spans: Dict[int, Any] = {}
+    for span in tracer.spans:
+        if span.end_ms is None:
+            continue
+        if span.category == "queue" and len(span.trace_ids) == 1:
+            queue_spans[span.trace_ids[0]] = span
+        elif span.category == "service":
+            for rid in span.trace_ids:
+                service_spans[rid] = span
+    for rid in sorted(queue_spans):
+        service = service_spans.get(rid)
+        if service is None:
+            continue
+        queue = queue_spans[rid]
+        events.append(
+            {
+                "ph": "s",
+                "cat": "request",
+                "name": f"req-{rid}",
+                "id": str(rid),
+                "pid": pids.get(queue.node, 0),
+                "tid": 0,
+                "ts": queue.end_ms * 1000.0,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "cat": "request",
+                "name": f"req-{rid}",
+                "id": str(rid),
+                "pid": pids.get(service.node, 0),
+                "tid": 0,
+                "ts": service.start_ms * 1000.0,
+            }
+        )
+
+    # -- self-contained analysis block -------------------------------------
+    requests: List[Dict[str, Any]] = []
+    metrics = None
+    if report is not None:
+        label = label or report.label
+        metrics = report.metrics
+        for request in report.requests:
+            if not request.is_completed:
+                continue
+            service = service_spans.get(request.request_id)
+            requests.append(
+                {
+                    "id": request.request_id,
+                    "arrival_ms": request.arrival_ms,
+                    "dispatched_ms": request.dispatched_ms,
+                    "completed_ms": request.completed_ms,
+                    "queue_ms": request.queue_ms,
+                    "service_ms": request.service_ms,
+                    "total_ms": request.total_ms,
+                    "slo_ms": request.slo_ms,
+                    "slo_violated": request.slo_violated,
+                    "batch_size": request.batch_size,
+                    "replica": request.replica,
+                    "node": service.node if service is not None else nodes[0] if nodes else "",
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "repro": {
+            "version": TRACE_VERSION,
+            "label": label,
+            "t0_ms": tracer.t0,
+            "nodes": nodes,
+            "requests": requests,
+            "spans": [span.as_dict() for span in tracer.spans if span.end_ms is not None],
+            "instants": [instant.as_dict() for instant in tracer.instants],
+            "metrics": metrics,
+        },
+    }
+
+
+def export_trace(
+    path: str,
+    tracer: Tracer,
+    report: Optional[Any] = None,
+    label: str = "",
+) -> Dict[str, Any]:
+    """Build the payload and write it to ``path``; returns the payload."""
+    payload = build_trace(tracer, report=report, label=label)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return payload
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def _default_schema_path() -> str:
+    # src/repro/obs/export.py -> repo root is four dirnames up.
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    return os.path.join(root, SCHEMA_RELPATH)
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(instance: Any, schema: Dict[str, Any], path: str) -> None:
+    """Check ``instance`` against the JSON-schema subset the trace uses.
+
+    Supported keywords: ``type`` (string or list), ``enum``, ``required``,
+    ``properties``, ``items``.  Raises ``ValueError`` naming the offending
+    path; anything the subset does not know is ignored, never guessed.
+    """
+    types = schema.get("type")
+    if types is not None:
+        allowed = types if isinstance(types, list) else [types]
+        if not any(_TYPE_CHECKS[t](instance) for t in allowed):
+            raise ValueError(
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            )
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        raise ValueError(f"{path}: value {instance!r} not in {enum}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise ValueError(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                _validate(instance[key], subschema, f"{path}.{key}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, entry in enumerate(instance):
+                _validate(entry, items, f"{path}[{index}]")
+
+
+def validate_trace(payload: Dict[str, Any], schema_path: Optional[str] = None) -> None:
+    """Validate a trace payload against ``docs/trace.schema.json``.
+
+    Raises ``ValueError`` on the first violation.  Beyond the schema it
+    checks two structural promises the schema language cannot express:
+    async ``b``/``e`` events pair up, and every flow step has both ends.
+    """
+    resolved = schema_path or _default_schema_path()
+    with open(resolved, "r", encoding="utf-8") as handle:
+        schema = json.load(handle)
+    _validate(payload, schema, "$")
+    opens: Dict[Tuple[str, str, str], int] = {}
+    flows: Dict[str, int] = {}
+    for event in payload["traceEvents"]:
+        ph = event.get("ph")
+        if ph in ("b", "e"):
+            key = (event.get("cat", ""), event.get("id", ""), event.get("name", ""))
+            opens[key] = opens.get(key, 0) + (1 if ph == "b" else -1)
+        elif ph in ("s", "f"):
+            fid = event.get("id", "")
+            flows[fid] = flows.get(fid, 0) + (1 if ph == "s" else -1)
+    unbalanced = [key for key, count in opens.items() if count != 0]
+    if unbalanced:
+        raise ValueError(f"unbalanced async span events: {unbalanced[:5]}")
+    dangling = [fid for fid, count in flows.items() if count != 0]
+    if dangling:
+        raise ValueError(f"dangling flow events: {dangling[:5]}")
+
+
+def validate_trace_file(path: str, schema_path: Optional[str] = None) -> Dict[str, Any]:
+    """Load ``path`` and validate it; returns the payload."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_trace(payload, schema_path=schema_path)
+    return payload

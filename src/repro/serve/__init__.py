@@ -43,6 +43,7 @@ from .fidelity import (
     FidelityController,
     FidelityDecision,
     make_fidelity_controller,
+    merge_fidelity,
 )
 from .placement import ShardedModel, build_replicas
 from .policy import (
@@ -126,6 +127,7 @@ __all__ = [
     "generate_requests",
     "make_arrival_process",
     "make_fidelity_controller",
+    "merge_fidelity",
     "make_policy",
     "make_router",
     "payload_nbytes",

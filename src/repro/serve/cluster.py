@@ -39,6 +39,8 @@ from ..cache import backfill_embeddings, merge_cache_stats
 from ..core.profiler import Profiler
 from ..hw.cluster import Cluster
 from ..hw.stream import StreamEvent
+from ..obs.metrics import MetricsRegistry, record_completion, record_dispatch
+from ..obs.trace import Tracer
 from .autoscale import Autoscaler
 from .batcher import DynamicBatcher
 from .fidelity import FidelityController
@@ -48,8 +50,9 @@ from .request import Request
 from .router import Router
 from .telemetry import ServingReport
 
-#: (requests, replica index, completion event, fidelity cost scale)
-_Inflight = Tuple[List[Request], int, StreamEvent, float]
+#: (requests, replica index, completion event, fidelity cost scale,
+#: open service-span id -- ``None`` when no tracer is attached)
+_Inflight = Tuple[List[Request], int, StreamEvent, float, Optional[int]]
 
 
 def build_cluster_replicas(
@@ -102,6 +105,8 @@ class ClusterServer:
         autoscaler: Optional[Autoscaler] = None,
         fidelity: Optional[FidelityController] = None,
         backfill_nodes: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not replicas:
             raise ValueError("cluster serving needs at least one replica")
@@ -130,12 +135,17 @@ class ClusterServer:
         self.autoscaler = autoscaler
         self.fidelity = fidelity
         self.backfill_nodes = int(backfill_nodes)
+        #: Optional observability taps (see :mod:`repro.obs`); read-only for
+        #: the simulation, zero objects on the hot path when ``None``.
+        self.tracer = tracer
+        self.metrics = metrics
         if fidelity is not None:
             policy.attach_fidelity(fidelity)
         self.batcher = DynamicBatcher(policy)
         self._inflight: List[_Inflight] = []
         self._last_ready: List[float] = [0.0] * len(self.replicas)
         self._t0 = 0.0
+        self._fidelity_level = 0
 
     @property
     def machine(self):
@@ -170,6 +180,8 @@ class ClusterServer:
             self.fidelity.set_cache_available(
                 any(getattr(replica, "cache", None) is not None for replica in self.replicas)
             )
+        if self.tracer is not None and not self.tracer.attached(front):
+            self.tracer.attach_cluster(self.cluster)
         with front.activate():
             if warm_up:
                 head = [r.payload for r in ordered[: self.policy.max_batch_size]]
@@ -207,7 +219,21 @@ class ClusterServer:
         report.requests = completed
         report.duration_ms = duration_ms
         report.gpu_utilization = profile.gpu_utilization()
-        report.per_device_utilization = profile.per_gpu_utilization()
+        multi_node = self.cluster.num_nodes > 1
+        # On multi-node runs every per-device key is node-qualified
+        # (``node<i>:<gpu>``): node machines share GPU names, and bare names
+        # from node 0 would collide with (or be mistaken for) remote ones.
+        # Single-node clusters keep bare names, identical to ScaleOutServer.
+        report.per_device_utilization = {
+            (f"node0:{name}" if multi_node else name): value
+            for name, value in profile.per_gpu_utilization().items()
+        }
+        report.cluster = {
+            "spec": self.cluster.spec.name,
+            "num_nodes": self.cluster.num_nodes,
+            "nic": self.cluster.spec.nic.name,
+            "nic_bytes": self.cluster.nic_bytes(),
+        }
         if profile.elapsed_ms > 0:
             report.cpu_utilization = min(1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms)
             # Remote nodes are outside the front-end profiler's machine;
@@ -220,6 +246,11 @@ class ClusterServer:
                 for gpu in node.gpus:
                     key = f"node{node_index}:{gpu.name}"
                     report.per_device_utilization[key] = gpu.utilization(start, end)
+            if multi_node:
+                report.cluster["nic_busy"] = {
+                    link.name: round(link.busy_ms(start, end) / profile.elapsed_ms, 4)
+                    for link in self.cluster.nic_links
+                }
         report.cache = merge_cache_stats(
             [
                 replica.cache_stats()
@@ -227,16 +258,12 @@ class ClusterServer:
                 if callable(getattr(replica, "cache_stats", None))
             ]
         )
-        report.cluster = {
-            "spec": self.cluster.spec.name,
-            "num_nodes": self.cluster.num_nodes,
-            "nic": self.cluster.spec.nic.name,
-            "nic_bytes": self.cluster.nic_bytes(),
-        }
         if self.autoscaler is not None:
             report.autoscale = self.autoscaler.stats(duration_ms)
         if self.fidelity is not None:
             report.fidelity = self.fidelity.snapshot()
+        if self.metrics is not None:
+            report.metrics = self.metrics.snapshot(duration_ms)
         return report
 
     # -- serving loop -----------------------------------------------------------
@@ -245,6 +272,8 @@ class ClusterServer:
         front = self.machine
         t0 = front.host_time_ms
         self._t0 = t0
+        if self.tracer is not None:
+            self.tracer.t0 = t0
         autoscaler = self.autoscaler
         if autoscaler is not None:
             autoscaler.bind(
@@ -280,7 +309,7 @@ class ClusterServer:
             if deadline is not None:
                 targets.append(deadline)
             if self._inflight:
-                targets.append(min(e.ready_ms for _, _, e, _ in self._inflight) - t0)
+                targets.append(min(e.ready_ms for _, _, e, _, _ in self._inflight) - t0)
             if autoscaler is not None:
                 pending_ready = autoscaler.next_ready_ms()
                 if pending_ready is not None:
@@ -312,15 +341,28 @@ class ClusterServer:
         node_index = self.replica_nodes[target]
         replica = self.replicas[target]
         cost_scale = self._degrade(batch, now, replica)
+        tracer = self.tracer
+        span_id = None
+        cursor = 0
+        if tracer is not None:
+            span_id, cursor = self._trace_dispatch(tracer, batch, target, node_index, t0, now)
+        if self.metrics is not None:
+            record_dispatch(self.metrics, len(batch), len(self.batcher))
         payload = replica.make_request_batch([r.payload for r in batch])
         for request in batch:
             request.dispatched_ms = now
             request.batch_size = len(batch)
             request.replica = target
         if node_index == 0:
-            ready = self._dispatch_on(front, replica, target, payload)
+            ready = self._dispatch_on(front, replica, target, payload, span_id)
+            if span_id is not None:
+                tracer.record_slice(span_id, front, cursor)
         else:
             remote = self.cluster.nodes[node_index]
+            if span_id is not None:
+                # Bind the request context so the NIC hop recorded down in
+                # Cluster.transfer lands in this batch's span tree.
+                tracer.bind(tuple(r.request_id for r in batch), span_id)
             arrival = self.cluster.transfer(
                 0,
                 front.cpu,
@@ -329,12 +371,46 @@ class ClusterServer:
                 payload_nbytes(payload),
                 name="route_payload",
             )
+            if span_id is not None:
+                tracer.unbind()
+                tracer.record_slice(span_id, front, cursor)
             self.cluster.sync_node(node_index, arrival)
             with remote.activate():
-                ready = self._dispatch_on(remote, replica, target, payload)
+                remote_cursor = remote.event_cursor() if span_id is not None else 0
+                ready = self._dispatch_on(remote, replica, target, payload, span_id)
+                if span_id is not None:
+                    tracer.record_slice(span_id, remote, remote_cursor)
         self.router.notify_dispatch(target, len(batch))
-        self._inflight.append((batch, target, ready, cost_scale))
+        self._inflight.append((batch, target, ready, cost_scale, span_id))
         self._broadcast_invalidation(target, payload)
+
+    def _trace_dispatch(
+        self, tracer: Tracer, batch: List[Request], target: int, node_index: int, t0: float, now: float
+    ) -> Tuple[int, int]:
+        """Open the batch's service span (on its serving node) and the queue
+        spans of its riders (on the front-end node that held them)."""
+        front = self.machine
+        ids = tuple(r.request_id for r in batch)
+        span_id = tracer.open_span(
+            f"batch-r{target}",
+            "service",
+            t0 + now,
+            node=tracer.node_of(self.replicas[target].machine),
+            trace_ids=ids,
+            replica=target,
+            node_index=node_index,
+        )
+        front_node = tracer.node_of(front)
+        for request in batch:
+            tracer.span(
+                "queue",
+                "queue",
+                t0 + request.arrival_ms,
+                t0 + now,
+                node=front_node,
+                trace_ids=(request.request_id,),
+            )
+        return span_id, front.event_cursor()
 
     def _degrade(self, batch: List[Request], now_ms: float, replica: Any) -> float:
         """Advance the fidelity controller and apply its levers to ``replica``.
@@ -361,12 +437,24 @@ class ClusterServer:
         cache = getattr(replica, "cache", None)
         if cache is not None:
             cache.set_fidelity(decision.staleness_scale, decision.force_hits)
+        if self.tracer is not None and decision.level != self._fidelity_level:
+            self.tracer.instant(
+                f"fidelity:level={decision.level}",
+                "fidelity",
+                self.machine.host_time_ms,
+                node=self.tracer.node_of(self.machine),
+                previous=self._fidelity_level,
+            )
+        self._fidelity_level = decision.level
         return decision.cost_scale
 
-    def _dispatch_on(self, machine, replica, target: int, payload: Any) -> StreamEvent:
+    def _dispatch_on(
+        self, machine, replica, target: int, payload: Any, span_id: Optional[int] = None
+    ) -> StreamEvent:
         """The scale-out dispatch body, on whichever node hosts the replica."""
         plan = None
         if getattr(replica, "supports_overlap", False):
+            issue_ms = machine.host_time_ms
             worker = machine.stream(machine.cpu, self.sampling_stream(target))
             with machine.use_stream(worker):
                 plan = replica.prepare_iteration(payload)
@@ -374,6 +462,17 @@ class ClusterServer:
             device = replica.compute_device
             if device.is_gpu:
                 machine.wait_event(machine.default_stream(device), prepared)
+            if span_id is not None:
+                self.tracer.span(
+                    "sample",
+                    "sample",
+                    issue_ms,
+                    prepared.ready_ms,
+                    node=self.tracer.node_of(machine),
+                    trace_ids=self.tracer.get_span(span_id).trace_ids,
+                    parent_id=span_id,
+                    replica=target,
+                )
         return replica.dispatch_iteration(payload, plan=plan)
 
     def _broadcast_invalidation(self, origin: int, payload: Any) -> None:
@@ -392,6 +491,15 @@ class ClusterServer:
             if touched is None:
                 touched = payload.touched_nodes().tolist()
             cache.invalidate_nodes(touched)
+        if touched is not None and self.tracer is not None:
+            self.tracer.instant(
+                "invalidate_broadcast",
+                "cache",
+                self.machine.host_time_ms,
+                node=self.tracer.node_of(self.machine),
+                origin=origin,
+                nodes=len(touched),
+            )
 
     @staticmethod
     def sampling_stream(replica_index: int) -> str:
@@ -408,14 +516,19 @@ class ClusterServer:
         """
         front = self.machine
         still_inflight: List[_Inflight] = []
-        for batch, target, ready, cost_scale in self._inflight:
+        for batch, target, ready, cost_scale, span_id in self._inflight:
             if ready.ready_ms > front.host_time_ms + 1e-9:
-                still_inflight.append((batch, target, ready, cost_scale))
+                still_inflight.append((batch, target, ready, cost_scale, span_id))
                 continue
             done = ready.ready_ms - t0
             for request in batch:
                 request.completed_ms = done
             completed.extend(batch)
+            if span_id is not None:
+                self.tracer.close_span(span_id, ready.ready_ms)
+            if self.metrics is not None:
+                for request in batch:
+                    record_completion(self.metrics, request)
             dispatched = batch[0].dispatched_ms
             service_ms = done - dispatched if dispatched is not None else 0.0
             started = max(
@@ -449,6 +562,14 @@ class ClusterServer:
         """
         replica = self.replicas[index]
         node_index = self.replica_nodes[index]
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"scale:up:r{index}",
+                "scale",
+                self._t0 + now_ms,
+                node=self.tracer.node_of(self.machine),
+                node_index=node_index,
+            )
         device = replica.compute_device
         if node_index == 0 and not device.is_gpu:
             return now_ms  # host-resident replica: nothing to ship
@@ -479,6 +600,13 @@ class ClusterServer:
 
     def _spin_down(self, index: int, now_ms: float) -> None:
         """Release one replica: flush its cache so re-activation is cold."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"scale:down:r{index}",
+                "scale",
+                self._t0 + now_ms,
+                node=self.tracer.node_of(self.machine),
+            )
         cache = getattr(self.replicas[index], "cache", None)
         if cache is not None:
             cache.flush()

@@ -35,19 +35,21 @@ tier pays.  The report carries the counters merged across replicas.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..cache import merge_cache_stats
 from ..core.profiler import Profiler
 from ..hw.stream import StreamEvent
+from ..obs.metrics import MetricsRegistry, record_completion, record_dispatch
+from ..obs.trace import Tracer
 from .batcher import DynamicBatcher
 from .policy import SchedulerPolicy
 from .request import Request
 from .router import Router
 from .telemetry import ServingReport
 
-#: (requests, replica index, completion event)
-_Inflight = Tuple[List[Request], int, StreamEvent]
+#: (requests, replica index, completion event, open service-span id)
+_Inflight = Tuple[List[Request], int, StreamEvent, Optional[int]]
 
 
 class ScaleOutServer:
@@ -58,6 +60,8 @@ class ScaleOutServer:
         replicas: Sequence[Any],
         policy: SchedulerPolicy,
         router: Router,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not replicas:
             raise ValueError("replicated serving needs at least one replica")
@@ -76,6 +80,10 @@ class ScaleOutServer:
         self.replicas = list(replicas)
         self.policy = policy
         self.router = router
+        #: Optional observability taps (see :mod:`repro.obs`); read-only for
+        #: the simulation, zero objects on the hot path when ``None``.
+        self.tracer = tracer
+        self.metrics = metrics
         self.batcher = DynamicBatcher(policy)
         self._inflight: List[_Inflight] = []
         #: Per-replica ready time of the last retired batch, used to split a
@@ -110,6 +118,8 @@ class ScaleOutServer:
         )
         if not requests:
             return report
+        if self.tracer is not None and not self.tracer.attached(machine):
+            self.tracer.attach(machine)
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         with machine.activate():
             if warm_up:
@@ -134,6 +144,8 @@ class ScaleOutServer:
                 if callable(getattr(replica, "cache_stats", None))
             ]
         )
+        if self.metrics is not None:
+            report.metrics = self.metrics.snapshot(duration_ms)
         return report
 
     # -- serving loop -----------------------------------------------------------
@@ -141,6 +153,8 @@ class ScaleOutServer:
     def _loop(self, requests: Sequence[Request]) -> Tuple[List[Request], float]:
         machine = self.machine
         t0 = machine.host_time_ms
+        if self.tracer is not None:
+            self.tracer.t0 = t0
         completed: List[Request] = []
         index = 0
         while True:
@@ -162,7 +176,7 @@ class ScaleOutServer:
             if deadline is not None:
                 targets.append(deadline)
             if self._inflight:
-                targets.append(min(e.ready_ms for _, _, e in self._inflight) - t0)
+                targets.append(min(e.ready_ms for _, _, e, _ in self._inflight) - t0)
             if not targets:
                 if len(self.batcher) == 0:
                     break
@@ -193,12 +207,20 @@ class ScaleOutServer:
         now = machine.host_time_ms - t0
         target = self.router.route(len(batch), now)
         replica = self.replicas[target]
+        tracer = self.tracer
+        span_id = None
+        cursor = 0
+        if tracer is not None:
+            span_id, cursor = self._trace_dispatch(tracer, batch, machine, target, t0, now)
+        if self.metrics is not None:
+            record_dispatch(self.metrics, len(batch), len(self.batcher))
         payload = replica.make_request_batch([r.payload for r in batch])
         for request in batch:
             request.dispatched_ms = now
             request.batch_size = len(batch)
             request.replica = target
         plan = None
+        prepared = None
         if getattr(replica, "supports_overlap", False):
             worker = machine.stream(machine.cpu, self.sampling_stream(target))
             with machine.use_stream(worker):
@@ -208,9 +230,47 @@ class ScaleOutServer:
             if device.is_gpu:
                 machine.wait_event(machine.default_stream(device), prepared)
         ready = replica.dispatch_iteration(payload, plan=plan)
+        if span_id is not None:
+            tracer.record_slice(span_id, machine, cursor)
+            if prepared is not None:
+                tracer.span(
+                    "sample",
+                    "sample",
+                    t0 + now,
+                    prepared.ready_ms,
+                    node=tracer.node_of(machine),
+                    trace_ids=tuple(r.request_id for r in batch),
+                    parent_id=span_id,
+                    replica=target,
+                )
         self.router.notify_dispatch(target, len(batch))
-        self._inflight.append((batch, target, ready))
+        self._inflight.append((batch, target, ready, span_id))
         self._broadcast_invalidation(target, payload)
+
+    def _trace_dispatch(
+        self, tracer: Tracer, batch: List[Request], machine: Any, target: int, t0: float, now: float
+    ) -> Tuple[int, int]:
+        """Open the batch's service span and close its riders' queue spans."""
+        node = tracer.node_of(machine)
+        ids = tuple(r.request_id for r in batch)
+        span_id = tracer.open_span(
+            f"batch-r{target}",
+            "service",
+            t0 + now,
+            node=node,
+            trace_ids=ids,
+            replica=target,
+        )
+        for request in batch:
+            tracer.span(
+                "queue",
+                "queue",
+                t0 + request.arrival_ms,
+                t0 + now,
+                node=node,
+                trace_ids=(request.request_id,),
+            )
+        return span_id, machine.event_cursor()
 
     def _broadcast_invalidation(self, origin: int, payload: Any) -> None:
         """Invalidate the batch's touched nodes in every *other* replica cache.
@@ -231,6 +291,16 @@ class ScaleOutServer:
             if touched is None:
                 touched = payload.touched_nodes().tolist()
             cache.invalidate_nodes(touched)
+        if touched is not None and self.tracer is not None:
+            machine = self.machine
+            self.tracer.instant(
+                "invalidate_broadcast",
+                "cache",
+                machine.host_time_ms,
+                self.tracer.node_of(machine),
+                origin=origin,
+                nodes=len(touched),
+            )
 
     @staticmethod
     def sampling_stream(replica_index: int) -> str:
@@ -250,14 +320,19 @@ class ScaleOutServer:
         """
         machine = self.machine
         still_inflight: List[_Inflight] = []
-        for batch, target, ready in self._inflight:
+        for batch, target, ready, span_id in self._inflight:
             if ready.ready_ms > machine.host_time_ms + 1e-9:
-                still_inflight.append((batch, target, ready))
+                still_inflight.append((batch, target, ready, span_id))
                 continue
             done = ready.ready_ms - t0
             for request in batch:
                 request.completed_ms = done
             completed.extend(batch)
+            if span_id is not None:
+                self.tracer.close_span(span_id, ready.ready_ms)
+            if self.metrics is not None:
+                for request in batch:
+                    record_completion(self.metrics, request)
             dispatched = batch[0].dispatched_ms
             service_ms = done - dispatched if dispatched is not None else 0.0
             started = max(

@@ -39,14 +39,17 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.profiler import Profiler
 from ..hw.stream import StreamEvent
+from ..obs.metrics import MetricsRegistry, record_completion, record_dispatch
+from ..obs.trace import Tracer
 from .batcher import DynamicBatcher
 from .fidelity import FULL_FIDELITY, FidelityController
 from .policy import SchedulerPolicy
 from .request import Request
 from .telemetry import ServingReport
 
-#: (requests, merged payload, sampling plan, prepared event, cost scale)
-_Inflight = Tuple[List[Request], Any, Any, StreamEvent, float]
+#: (requests, merged payload, sampling plan, prepared event, cost scale,
+#: open service-span id -- ``None`` when no tracer is attached)
+_Inflight = Tuple[List[Request], Any, Any, StreamEvent, float, Optional[int]]
 
 
 class InferenceServer:
@@ -61,6 +64,8 @@ class InferenceServer:
         policy: SchedulerPolicy,
         overlap: bool = False,
         fidelity: Optional[FidelityController] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if overlap and not getattr(model, "supports_overlap", False):
             raise TypeError(
@@ -76,10 +81,17 @@ class InferenceServer:
         self.policy = policy
         self.overlap = overlap
         self.fidelity = fidelity
+        #: Optional observability taps (see :mod:`repro.obs`).  Both are
+        #: strictly read-only with respect to the simulation; when ``None``
+        #: the hot path pays one attribute test per hook and allocates
+        #: nothing -- runs are event-for-event identical either way.
+        self.tracer = tracer
+        self.metrics = metrics
         if fidelity is not None:
             policy.attach_fidelity(fidelity)
         self.batcher = DynamicBatcher(policy)
         self._inflight: Optional[_Inflight] = None
+        self._fidelity_level = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -109,6 +121,8 @@ class InferenceServer:
             return report
         if self.fidelity is not None:
             self.fidelity.set_cache_available(getattr(self.model, "cache", None) is not None)
+        if self.tracer is not None and not self.tracer.attached(machine):
+            self.tracer.attach(machine)
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         with machine.activate():
             if warm_up:
@@ -129,6 +143,8 @@ class InferenceServer:
             report.cache = stats()
         if self.fidelity is not None:
             report.fidelity = self.fidelity.snapshot()
+        if self.metrics is not None:
+            report.metrics = self.metrics.snapshot(duration_ms)
         if profile.elapsed_ms > 0:
             report.cpu_utilization = min(1.0, profile.device_busy_ms("cpu") / profile.elapsed_ms)
         return report
@@ -139,6 +155,8 @@ class InferenceServer:
         """Run the arrival/batch/execute loop; returns (completed, duration)."""
         machine = self.model.machine
         t0 = machine.host_time_ms
+        if self.tracer is not None:
+            self.tracer.t0 = t0
         completed: List[Request] = []
         index = 0
         while True:
@@ -179,13 +197,22 @@ class InferenceServer:
         machine = self.model.machine
         now = machine.host_time_ms - t0
         cost_scale = self._degrade(batch, now)
+        tracer = self.tracer
+        span_id = None
+        cursor = 0
+        if tracer is not None:
+            span_id, cursor = self._trace_dispatch(tracer, batch, machine, t0, now)
+        if self.metrics is not None:
+            record_dispatch(self.metrics, len(batch), len(self.batcher))
         payload = self.model.make_request_batch([r.payload for r in batch])
         for request in batch:
             request.dispatched_ms = now
             request.batch_size = len(batch)
         if not self.overlap:
             self.model.inference_iteration(payload)
-            self._finish(batch, t0, completed, cost_scale)
+            if span_id is not None:
+                tracer.record_slice(span_id, machine, cursor)
+            self._finish(batch, t0, completed, cost_scale, span_id)
             return
         # Overlap mode: issue this batch's sampling onto the prefetch stream
         # *before* blocking on the previous batch's device work, so the two
@@ -194,9 +221,47 @@ class InferenceServer:
         with machine.use_stream(stream):
             plan = self.model.prepare_iteration(payload)
             ready = machine.record_event(stream, name="serve_prepared")
-        previous, self._inflight = (self._inflight, (batch, payload, plan, ready, cost_scale))
+        if span_id is not None:
+            tracer.record_slice(span_id, machine, cursor)
+            tracer.span(
+                "sample",
+                "sample",
+                t0 + now,
+                ready.ready_ms,
+                node=tracer.node_of(machine),
+                trace_ids=tuple(r.request_id for r in batch),
+                parent_id=span_id,
+            )
+        previous, self._inflight = (
+            self._inflight,
+            (batch, payload, plan, ready, cost_scale, span_id),
+        )
         if previous is not None:
             self._compute(previous, t0, completed)
+
+    def _trace_dispatch(
+        self, tracer: Tracer, batch: List[Request], machine: Any, t0: float, now: float
+    ) -> Tuple[int, int]:
+        """Open the batch's service span, close its riders' queue spans.
+
+        Returns ``(service span id, event-log cursor)``; the cursor anchors
+        the slice of timeline events this dispatch is about to issue.
+        """
+        node = tracer.node_of(machine)
+        ids = tuple(r.request_id for r in batch)
+        span_id = tracer.open_span(
+            f"batch-{batch[0].request_id}", "service", t0 + now, node=node, trace_ids=ids
+        )
+        for request in batch:
+            tracer.span(
+                "queue",
+                "queue",
+                t0 + request.arrival_ms,
+                t0 + now,
+                node=node,
+                trace_ids=(request.request_id,),
+            )
+        return span_id, machine.event_cursor()
 
     def _degrade(self, batch: List[Request], now_ms: float) -> float:
         """Advance the fidelity controller for this dispatch; apply its levers.
@@ -218,6 +283,16 @@ class InferenceServer:
             if request.deadline_ms is not None and request.deadline_ms <= now_ms
         )
         decision = self.fidelity.on_dispatch(pressured, len(batch), lost_deadlines=lost)
+        if self.tracer is not None and decision.level != self._fidelity_level:
+            machine = self.model.machine
+            self.tracer.instant(
+                f"fidelity:level={decision.level}",
+                "fidelity",
+                machine.host_time_ms,
+                self.tracer.node_of(machine),
+                previous=self._fidelity_level,
+            )
+        self._fidelity_level = decision.level
         setter = getattr(self.model, "set_fanout_scale", None)
         if setter is not None:
             setter(decision.fanout_scale)
@@ -228,14 +303,36 @@ class InferenceServer:
 
     def _compute(self, entry: _Inflight, t0: float, completed: List[Request]) -> None:
         """Retire one prepared batch: wait for its plan, run device compute."""
-        batch, payload, plan, ready, cost_scale = entry
+        batch, payload, plan, ready, cost_scale, span_id = entry
         machine = self.model.machine
+        tracer = self.tracer
+        cursor = 0
+        started = 0.0
+        if span_id is not None:
+            cursor = machine.event_cursor()
+            started = machine.host_time_ms
         machine.event_synchronize(ready, name="serve_wait_prepared")
         self.model.compute_iteration(payload, plan)
-        self._finish(batch, t0, completed, cost_scale)
+        if span_id is not None:
+            tracer.record_slice(span_id, machine, cursor)
+            tracer.span(
+                "compute",
+                "compute",
+                started,
+                machine.host_time_ms,
+                node=tracer.node_of(machine),
+                trace_ids=tuple(r.request_id for r in batch),
+                parent_id=span_id,
+            )
+        self._finish(batch, t0, completed, cost_scale, span_id)
 
     def _finish(
-        self, batch: List[Request], t0: float, completed: List[Request], cost_scale: float = 1.0
+        self,
+        batch: List[Request],
+        t0: float,
+        completed: List[Request],
+        cost_scale: float = 1.0,
+        span_id: Optional[int] = None,
     ) -> None:
         """Stamp completions and feed the service time back to the policy.
 
@@ -248,6 +345,11 @@ class InferenceServer:
         for request in batch:
             request.completed_ms = done
         completed.extend(batch)
+        if span_id is not None:
+            self.tracer.close_span(span_id, machine.host_time_ms)
+        if self.metrics is not None:
+            for request in batch:
+                record_completion(self.metrics, request)
         dispatched = batch[0].dispatched_ms
         if dispatched is not None:
             self.policy.observe(len(batch), (done - dispatched) / cost_scale)

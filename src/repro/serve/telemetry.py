@@ -51,6 +51,10 @@ class ServingReport:
             fidelity is off): per-lever debt counters, the weighted debt
             score, and the controller's level trajectory, as produced by
             :meth:`repro.serve.fidelity.FidelityController.snapshot`.
+        metrics: Metrics-registry snapshot (``None`` when no registry is
+            attached): simulated-clock counters, gauges and histograms, as
+            produced by :meth:`repro.obs.MetricsRegistry.snapshot` (merge
+            across replicas/nodes with :func:`repro.obs.merge_metrics`).
     """
 
     label: str
@@ -70,6 +74,7 @@ class ServingReport:
     cluster: Optional[Dict[str, Any]] = None
     autoscale: Optional[Dict[str, Any]] = None
     fidelity: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     # -- latency distributions -------------------------------------------------
 
@@ -157,6 +162,8 @@ class ServingReport:
             row["num_nodes"] = self.cluster.get("num_nodes", 1)
             row["nic"] = self.cluster.get("nic", "")
             row["nic_bytes"] = self.cluster.get("nic_bytes", 0)
+            if "nic_busy" in self.cluster:
+                row["nic_busy"] = self.cluster["nic_busy"]
         if self.autoscale is not None:
             row["autoscale_gpu_time_ms"] = round(self.autoscale.get("gpu_time_ms", 0.0), 3)
             row["scale_ups"] = self.autoscale.get("scale_ups", 0)
@@ -166,6 +173,8 @@ class ServingReport:
             row["fidelity_debt"] = self.fidelity.get("debt_score", 0.0)
             row["degraded_batches"] = self.fidelity.get("degraded_batches", 0)
             row["fidelity"] = self.fidelity
+        if self.metrics is not None:
+            row["metrics"] = self.metrics
         if self.completed:
             for prefix, summary in (
                 ("", self.total_latency()),
@@ -186,6 +195,12 @@ class ServingReport:
                 f"{self.cluster.get('nic', '?')}   NIC traffic: "
                 f"{self.cluster.get('nic_bytes', 0) / 1e6:.2f} MB"
             )
+            nic_busy = self.cluster.get("nic_busy")
+            if nic_busy:
+                shares = "  ".join(
+                    f"{name}:{value * 100:.2f}%" for name, value in sorted(nic_busy.items())
+                )
+                lines.append(f"  NIC busy: {shares}")
         if self.placement != "single":
             spread = self.requests_per_replica()
             detail = f"   router: {self.router}" if self.router else ""
@@ -271,4 +286,7 @@ class ServingReport:
                 for name, value in sorted(self.per_device_utilization.items())
             )
             lines.append(f"  per-GPU utilization: {per_gpu}")
+        if self.metrics is not None:
+            names = self.metrics.get("metrics", {})
+            lines.append(f"  metrics:  {len(names)} series in registry snapshot")
         return "\n".join(lines)

@@ -220,14 +220,21 @@ class TestMultiNodeServing:
     def test_report_carries_the_cluster_block_and_remote_gpu_keys(self):
         dataset = make_dataset()
         cluster, report = serve_cluster(dataset, "2n-1xA100-eth")
+        nic_busy = report.cluster.pop("nic_busy")
         assert report.cluster == {
             "spec": "2n-1xA100-eth",
             "num_nodes": 2,
             "nic": "eth-25g",
             "nic_bytes": cluster.nic_bytes(),
         }
+        # Per-link NIC busy fractions, one per node pair, within [0, 1] and
+        # non-zero: replica 1's payloads crossed the 0-1 link.
+        assert set(nic_busy) == {"eth-25g:0-1"}
+        assert 0 < nic_busy["eth-25g:0-1"] <= 1
+        # Multi-node runs node-qualify every per-device key: node machines
+        # share GPU names, so bare node-0 names would collide with remote ones.
         keys = set(report.per_device_utilization)
-        assert "a100-sxm" in keys
+        assert "node0:a100-sxm" in keys
         assert "node1:a100-sxm" in keys
         assert all(v > 0 for v in report.per_device_utilization.values())
 

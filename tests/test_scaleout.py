@@ -135,7 +135,7 @@ class TestReplicatedServing:
                               payload=None, dispatched_ms=dispatched)
             event = StreamEvent(stream="default", resource="a100-sxm",
                                 ready_ms=ready, name="t")
-            return ([request], 0, event)
+            return ([request], 0, event, None)
 
         # Batch A: dispatched at 0, done at 10.  Batch B: dispatched at 1,
         # done at 18 -- it executed for 8 ms after A finished, though its
